@@ -1,0 +1,39 @@
+//! Extension (paper's conclusion): affinity-aware demand-driven dispatch
+//! — scheduler cost per window size, plus the shipped-volume series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_bench::BENCH_SEED;
+use dlt_outer::{comm_lower_bound, demand_driven_affinity, hom_block_side, tile_domain};
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use std::hint::black_box;
+
+fn bench_affinity(c: &mut Criterion) {
+    let n = 2048;
+    let platform = PlatformSpec::new(32, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let side = hom_block_side(&platform, n);
+    let blocks = tile_domain(n, side);
+    let mut group = c.benchmark_group("affinity_dispatch");
+    group.sample_size(10);
+    for &window in &[1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| demand_driven_affinity(black_box(&platform), n, black_box(&blocks), w))
+        });
+    }
+    group.finish();
+
+    let lb = comm_lower_bound(&platform, n);
+    eprintln!("\nshipped volume / LB by scan window (p=32, uniform speeds):");
+    for window in [1usize, 2, 4, 8, 16, 32, 64] {
+        let out = demand_driven_affinity(&platform, n, &blocks, window);
+        eprintln!(
+            "  window {window:3}: shipped {:.3}  (no-reuse accounting {:.3})",
+            out.volume_with_reuse / lb,
+            out.volume_no_reuse / lb
+        );
+    }
+}
+
+criterion_group!(benches, bench_affinity);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! F4 (Section 4.3): the three distribution strategies of Figure 4 —
+//! evaluation cost and the figure series themselves, plus the
+//! geometric-tiling ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_bench::BENCH_SEED;
+use dlt_outer::{evaluate, Strategy};
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let n = 10_000;
+    let mut group = c.benchmark_group("fig4_strategies");
+    group.sample_size(10);
+    for &p in &[10usize, 100] {
+        let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+            .generate(BENCH_SEED)
+            .unwrap();
+        for strategy in [
+            Strategy::HetRects,
+            Strategy::HomBlocks,
+            Strategy::HomBlocksRefined { target: 0.01 },
+            Strategy::HomBlocksTiled,
+        ] {
+            group.bench_with_input(BenchmarkId::new(strategy.name(), p), &p, |b, _| {
+                b.iter(|| evaluate(black_box(&platform), n, strategy))
+            });
+        }
+    }
+    group.finish();
+
+    // Reproduction log: the Figure 4 series at a glance (3 trials/point).
+    for profile in SpeedDistribution::paper_profiles() {
+        eprintln!("\nFigure 4 ({}) mean ratios over 3 trials:", profile.name());
+        for p in [10usize, 40, 100] {
+            let mut line = format!("  p={p:3}:");
+            for strategy in Strategy::paper_strategies() {
+                let mut acc = 0.0;
+                for t in 0..3u64 {
+                    let platform = PlatformSpec::new(p, profile.clone())
+                        .generate_stream(BENCH_SEED, t)
+                        .unwrap();
+                    acc += evaluate(&platform, n, strategy).ratio_to_lb;
+                }
+                line += &format!("  {}={:.3}", strategy.name(), acc / 3.0);
+            }
+            eprintln!("{line}");
+        }
+    }
+}
+
+fn bench_tiling_ablation(c: &mut Criterion) {
+    // How much extra volume does geometric tiling (clipped edge blocks)
+    // cost over the paper's arithmetic accounting?
+    let n = 10_000;
+    let platform = PlatformSpec::new(100, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let abstract_v = evaluate(&platform, n, Strategy::HomBlocks).comm_volume;
+    let tiled_v = evaluate(&platform, n, Strategy::HomBlocksTiled).comm_volume;
+    eprintln!(
+        "\ntiling ablation: arithmetic Commhom {abstract_v:.0} vs geometric {tiled_v:.0} \
+         ({:+.1}% edge-block overhead)",
+        100.0 * (tiled_v - abstract_v) / abstract_v
+    );
+    c.bench_function("hom_tiled_p100", |b| {
+        b.iter(|| evaluate(black_box(&platform), n, Strategy::HomBlocksTiled))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_tiling_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Linear DLT baselines: closed-form allocation and multi-round
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_bench::BENCH_SEED;
+use dlt_core::linear;
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use dlt_sim::simulate;
+use std::hint::black_box;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_single_round");
+    for &p in &[10usize, 100, 1000] {
+        let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+            .generate(BENCH_SEED)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("parallel", p), &p, |b, _| {
+            b.iter(|| linear::single_round_parallel(black_box(&platform), 1e6))
+        });
+        group.bench_with_input(BenchmarkId::new("one_port", p), &p, |b, _| {
+            b.iter(|| linear::single_round_one_port(black_box(&platform), 1e6, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_round_sim(c: &mut Criterion) {
+    let platform = PlatformSpec::new(64, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let mut group = c.benchmark_group("multi_round_simulation");
+    for &rounds in &[1usize, 16, 256] {
+        let schedule = linear::uniform_multi_round(&platform, 1e6, rounds).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, _| {
+            b.iter(|| simulate(black_box(&platform), black_box(&schedule)))
+        });
+    }
+    group.finish();
+
+    eprintln!("\nmulti-installment makespans (latency hiding):");
+    for rounds in [1usize, 2, 4, 8, 16, 64] {
+        let m = linear::multi_round_makespan(&platform, 1e6, rounds).unwrap();
+        eprintln!("  rounds={rounds:3} makespan={m:.1}");
+    }
+}
+
+criterion_group!(benches, bench_closed_forms, bench_multi_round_sim);
+criterion_main!(benches);

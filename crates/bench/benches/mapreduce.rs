@@ -1,0 +1,85 @@
+//! Section 1.1 substrate: the mini-MapReduce engine — wordcount (linear)
+//! vs the replicated-input matrix product (cubic), and the scaling of the
+//! engine itself with worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlt_bench::BENCH_SEED;
+use dlt_linalg::Matrix;
+use dlt_mapreduce::{jobs, JobConfig};
+use dlt_platform::rng::seeded;
+use std::hint::black_box;
+
+fn bench_wordcount(c: &mut Criterion) {
+    // Synthetic corpus: 2000 documents of 40 words from a 500-word
+    // vocabulary.
+    use rand::Rng;
+    let mut rng = seeded(BENCH_SEED);
+    let docs: Vec<String> = (0..2000)
+        .map(|_| {
+            (0..40)
+                .map(|_| format!("w{}", rng.gen_range(0..500)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let mut group = c.benchmark_group("mapreduce_wordcount");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2000 * 40));
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| jobs::wordcount::run(black_box(&docs), &JobConfig::new(w, w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replicated_matmul(c: &mut Criterion) {
+    let mut rng = seeded(BENCH_SEED);
+    let mut group = c.benchmark_group("mapreduce_matmul");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 24] {
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| jobs::matmul::run(black_box(&a), black_box(&b), &JobConfig::new(4, 4)))
+        });
+    }
+    group.finish();
+
+    // Reproduction log: the cubic blow-up in one line.
+    let n = 16;
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+    let out = jobs::matmul::run(&a, &b, &JobConfig::new(4, 4));
+    eprintln!(
+        "\nreplicated-input MM at N={n}: {} input units for {} distinct elements \
+         (replication ×{:.0}), {} shuffle pairs",
+        out.volume.map_input_units,
+        2 * n * n,
+        out.volume.replication_factor(2 * n * n),
+        out.volume.shuffle_pairs
+    );
+}
+
+fn bench_block_outer(c: &mut Criterion) {
+    let n = 256;
+    let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let mut group = c.benchmark_group("mapreduce_outer_blocks");
+    group.sample_size(10);
+    for &side in &[64usize, 16, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bch, &s| {
+            bch.iter(|| jobs::outer::run(black_box(&a), black_box(&b), s, &JobConfig::new(4, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wordcount,
+    bench_replicated_matmul,
+    bench_block_outer
+);
+criterion_main!(benches);

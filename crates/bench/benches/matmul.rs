@@ -1,0 +1,64 @@
+//! F3 / Section 4.2: matrix-multiplication kernels and the partitioned
+//! (outer-product) execution on PERI-SUM rectangles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlt_bench::BENCH_SEED;
+use dlt_linalg::{gemm_blocked, gemm_naive, gemm_parallel, Matrix};
+use dlt_outer::{block_cyclic_rects, execute_partitioned_matmul, het_rects, summa_comm_volume};
+use dlt_platform::{rng::seeded, PlatformSpec, SpeedDistribution};
+use std::hint::black_box;
+
+fn pair(n: usize) -> (Matrix, Matrix) {
+    let mut rng = seeded(BENCH_SEED);
+    (
+        Matrix::random(n, n, &mut rng),
+        Matrix::random(n, n, &mut rng),
+    )
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 256;
+    let (a, b) = pair(n);
+    let flops = 2 * n as u64 * n as u64 * n as u64;
+    let mut group = c.benchmark_group("gemm_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flops));
+    group.bench_function("naive", |bch| {
+        bch.iter(|| gemm_naive(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("blocked64", |bch| {
+        bch.iter(|| gemm_blocked(black_box(&a), black_box(&b), 64))
+    });
+    group.bench_function("parallel4", |bch| {
+        bch.iter(|| gemm_parallel(black_box(&a), black_box(&b), 4))
+    });
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let n = 192;
+    let (a, b) = pair(n);
+    let platform = PlatformSpec::new(8, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let het = het_rects(&platform, n);
+    let grid = block_cyclic_rects(n, 2); // 4 workers
+    let mut group = c.benchmark_group("partitioned_matmul");
+    group.sample_size(10);
+    for (label, rects) in [("peri_sum_p8", &het.rects), ("grid_2x2", &grid)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |bch, _| {
+            bch.iter(|| execute_partitioned_matmul(black_box(&a), black_box(&b), rects))
+        });
+    }
+    group.finish();
+
+    let het_sim = summa_comm_volume(n, &het.rects);
+    let grid_sim = summa_comm_volume(n, &grid);
+    eprintln!(
+        "\nSUMMA volumes at N={n}: peri_sum {:.3e}, 2x2 grid {:.3e}",
+        het_sim.total, grid_sim.total
+    );
+}
+
+criterion_group!(benches, bench_kernels, bench_partitioned);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E1 (Section 2): non-linear DLT allocation solvers.
+//!
+//! Times the equal-finish solvers under both communication models
+//! (ablation: the paper's point is that neither matters asymptotically)
+//! and prints the work-fraction series of the no-free-lunch analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_bench::BENCH_SEED;
+use dlt_core::{analysis, nonlinear};
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonlinear_solvers");
+    for &p in &[10usize, 100, 1000] {
+        let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+            .generate(BENCH_SEED)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("parallel", p), &p, |b, _| {
+            b.iter(|| nonlinear::equal_finish_parallel(black_box(&platform), 4096.0, 2.0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("one_port", p), &p, |b, _| {
+            b.iter(|| {
+                nonlinear::equal_finish_one_port(black_box(&platform), 4096.0, 2.0, None).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Reproduction log: the Section 2 series.
+    eprintln!("\nSection 2 series — fraction of work remaining after one round:");
+    for alpha in [1.5, 2.0, 3.0] {
+        let series: Vec<String> = [2usize, 8, 32, 128, 512]
+            .iter()
+            .map(|&p| {
+                format!(
+                    "P={p}: {:.4}",
+                    analysis::remaining_fraction_homogeneous(p, alpha)
+                )
+            })
+            .collect();
+        eprintln!("  alpha={alpha}: {}", series.join("  "));
+    }
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    c.bench_function("nonlinear_homogeneous_closed_form", |b| {
+        b.iter(|| nonlinear::homogeneous_allocation(black_box(256), 4096.0, 2.0, 1.0, 1.0))
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_closed_form);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! T2 (Section 4.1.2): square partitioners — the PERI-SUM DP against the
+//! √p-columns and recursive-bisection ablations, plus PERI-MAX.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_bench::BENCH_SEED;
+use dlt_partition::{
+    bisection_partition, lower_bound, peri_max_partition, peri_sum_partition,
+    sqrt_columns_partition,
+};
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use std::hint::black_box;
+
+fn weights(p: usize) -> Vec<f64> {
+    PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap()
+        .speeds()
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    for &p in &[10usize, 100, 500] {
+        let w = weights(p);
+        group.bench_with_input(BenchmarkId::new("peri_sum_dp", p), &p, |b, _| {
+            b.iter(|| peri_sum_partition(black_box(&w)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sqrt_columns", p), &p, |b, _| {
+            b.iter(|| sqrt_columns_partition(black_box(&w)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bisection", p), &p, |b, _| {
+            b.iter(|| bisection_partition(black_box(&w)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("peri_max_dp", p), &p, |b, _| {
+            b.iter(|| peri_max_partition(black_box(&w)).unwrap())
+        });
+    }
+    group.finish();
+
+    eprintln!("\npartition quality (cost / lower bound), uniform speeds:");
+    for p in [10usize, 100, 500] {
+        let w = weights(p);
+        let lb = lower_bound(&w).unwrap();
+        eprintln!(
+            "  p={p:4}: peri_sum {:.4}  sqrt_cols {:.4}  bisection {:.4}",
+            peri_sum_partition(&w).unwrap().total_half_perimeter() / lb,
+            sqrt_columns_partition(&w).unwrap().total_half_perimeter() / lb,
+            bisection_partition(&w).unwrap().total_half_perimeter() / lb,
+        );
+    }
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

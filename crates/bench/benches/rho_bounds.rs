@@ -1,0 +1,46 @@
+//! T1 (Section 4.1.3): ρ = Commhom/Commhet on two-class platforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_outer::{het_rects, hom_blocks_abstract, rho_lower_bound, two_class_rho_bound};
+use dlt_platform::Platform;
+use std::hint::black_box;
+
+fn bench_rho(c: &mut Criterion) {
+    let n = 4096;
+    let p = 32;
+    let mut group = c.benchmark_group("rho_two_class");
+    group.sample_size(10);
+    for &k in &[4.0f64, 16.0, 64.0] {
+        let platform = Platform::two_class(p, 1.0, k).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k as u64), &k, |b, _| {
+            b.iter(|| {
+                let hom = hom_blocks_abstract(black_box(&platform), n, 1);
+                let het = het_rects(black_box(&platform), n);
+                hom.comm_volume / het.comm_volume
+            })
+        });
+    }
+    group.finish();
+
+    eprintln!("\nrho table (p={p}, N={n}):");
+    eprintln!(
+        "  {:>6} {:>12} {:>14} {:>16} {:>10}",
+        "k", "measured", "bound(4/7...)", "(1+k)/(1+sqrt k)", "sqrt(k)-1"
+    );
+    for k in [1.0f64, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0] {
+        let platform = Platform::two_class(p, 1.0, k).unwrap();
+        let hom = hom_blocks_abstract(&platform, n, 1);
+        let het = het_rects(&platform, n);
+        eprintln!(
+            "  {:>6.0} {:>12.3} {:>14.3} {:>16.3} {:>10.3}",
+            k,
+            hom.comm_volume / het.comm_volume,
+            rho_lower_bound(&platform),
+            two_class_rho_bound(k),
+            k.sqrt() - 1.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_rho);
+criterion_main!(benches);

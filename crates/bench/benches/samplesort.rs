@@ -1,0 +1,95 @@
+//! E2 (Section 3): parallel sample sort — scaling in N and the
+//! oversampling ablation (s ∈ {1, log N, log²N} → bucket balance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlt_bench::BENCH_SEED;
+use dlt_platform::rng::seeded;
+use dlt_samplesort::{sample_sort, SampleSortConfig};
+use rand::Rng;
+use std::hint::black_box;
+
+fn random_keys(n: usize) -> Vec<u64> {
+    let mut rng = seeded(BENCH_SEED);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_sort_scaling");
+    group.sample_size(10);
+    for &n in &[1usize << 16, 1 << 18, 1 << 20] {
+        let data = random_keys(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                sample_sort(
+                    black_box(data.clone()),
+                    &SampleSortConfig::homogeneous(8, BENCH_SEED),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_std_sort(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = random_keys(n);
+    let mut group = c.benchmark_group("sample_sort_vs_std");
+    group.sample_size(10);
+    group.bench_function("std_sort_unstable", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            v
+        })
+    });
+    group.bench_function("sample_sort_p8", |b| {
+        b.iter(|| {
+            sample_sort(
+                black_box(data.clone()),
+                &SampleSortConfig::homogeneous(8, BENCH_SEED),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn oversampling_ablation(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = random_keys(n);
+    let p = 16;
+    let mut group = c.benchmark_group("oversampling_ablation");
+    group.sample_size(10);
+    let log_n = (n as f64).log2() as usize;
+    for (label, s) in [
+        ("s=1", 1usize),
+        ("s=logN", log_n),
+        ("s=log2N", log_n * log_n),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                sample_sort(
+                    black_box(data.clone()),
+                    &SampleSortConfig::homogeneous(p, BENCH_SEED).with_oversampling(s),
+                )
+            })
+        });
+        let out = sample_sort(
+            data.clone(),
+            &SampleSortConfig::homogeneous(p, BENCH_SEED).with_oversampling(s),
+        );
+        eprintln!(
+            "  {label}: max bucket overload {:.4}",
+            out.stats.max_overload()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_vs_std_sort,
+    oversampling_ablation
+);
+criterion_main!(benches);

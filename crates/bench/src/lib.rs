@@ -1,0 +1,20 @@
+//! # dlt-bench
+//!
+//! Criterion benchmark harness. One bench target per paper artifact plus
+//! ablations (see `DESIGN.md` §5):
+//!
+//! | target | paper artifact | what is timed |
+//! |--------|----------------|---------------|
+//! | `nonlinear_dlt` | §2 / E1 | non-linear allocation solvers (parallel vs one-port ablation) |
+//! | `linear_dlt` | §1–2 baselines | linear closed forms, multi-round simulation |
+//! | `samplesort` | §3 / E2 | full parallel sample sort; oversampling ablation |
+//! | `partition` | §4.1.2 / T2 | PERI-SUM DP vs √p-columns vs bisection vs PERI-MAX |
+//! | `fig4_strategies` | §4.3 / F4 | `Commhom`, `Commhom/k`, `Commhet` evaluation |
+//! | `rho_bounds` | §4.1.3 / T1 | two-class ρ measurement |
+//! | `matmul` | §4.2 / F3 | partitioned MM execution vs GEMM kernels |
+//!
+//! The benches also print the figure series they regenerate (via
+//! `eprintln!`) so `cargo bench` output doubles as a reproduction log.
+
+/// Deterministic seed shared by all benches.
+pub const BENCH_SEED: u64 = 42;

@@ -1,0 +1,123 @@
+//! The paper's closed-form analyses (Sections 2 and 3.1).
+
+/// Section 2: fraction of the total work **left over** after one optimal
+/// DLT round of an `x^α` workload on `P` homogeneous workers:
+///
+/// `(W − W_partial)/W = 1 − 1/P^{α−1}`
+///
+/// For `α > 1` this tends to 1 as `P → ∞`: "asymptotically all the work
+/// remains to be done after this first phase".
+pub fn remaining_fraction_homogeneous(p: usize, alpha: f64) -> f64 {
+    assert!(p > 0 && alpha >= 1.0);
+    1.0 - (p as f64).powf(1.0 - alpha)
+}
+
+/// Section 2: the work performed during the round, `W_partial = N^α /
+/// P^{α−1}`.
+pub fn partial_work_homogeneous(n: f64, p: usize, alpha: f64) -> f64 {
+    assert!(p > 0 && alpha >= 1.0 && n > 0.0);
+    n.powf(alpha) / (p as f64).powf(alpha - 1.0)
+}
+
+/// Section 3.1: for sorting (`W = N log N`), the fraction of work that is
+/// *not* covered by the embarrassingly parallel local sorts:
+///
+/// `(W − W_partial)/W = log p / log N`
+///
+/// which is arbitrarily close to 0 for large `N` — sorting is "almost
+/// divisible". Natural log or any common base cancels in the ratio.
+pub fn sorting_nondivisible_fraction(n: f64, p: usize) -> f64 {
+    assert!(n > 1.0 && p > 0);
+    (p as f64).ln() / n.ln()
+}
+
+/// Section 3.1: the sample-sort oversampling ratio the paper uses,
+/// `s = (log₂ N)²`, rounded to at least 1.
+pub fn paper_oversampling_ratio(n: usize) -> usize {
+    assert!(n > 0);
+    let l = (n as f64).log2();
+    ((l * l).round() as usize).max(1)
+}
+
+/// Section 3.1 / Theorem B.4 of Blelloch et al.: with oversampling `s =
+/// log²N`, the largest bucket exceeds `N/p · (1 + (1/log N)^{1/3})` only
+/// with probability `≤ N^{-1/3}`. This returns that high-probability bound
+/// on the max bucket size.
+pub fn max_bucket_bound(n: usize, p: usize) -> f64 {
+    assert!(n > 1 && p > 0);
+    let ln_n = (n as f64).ln();
+    (n as f64) / (p as f64) * (1.0 + (1.0 / ln_n).powf(1.0 / 3.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_loads_leave_nothing() {
+        // α = 1 → remaining fraction 0 for any P.
+        assert_eq!(remaining_fraction_homogeneous(1, 1.0), 0.0);
+        assert_eq!(remaining_fraction_homogeneous(1000, 1.0), 0.0);
+    }
+
+    #[test]
+    fn quadratic_loads_leave_almost_everything() {
+        // α = 2: remaining = 1 − 1/P.
+        assert!((remaining_fraction_homogeneous(10, 2.0) - 0.9).abs() < 1e-12);
+        assert!((remaining_fraction_homogeneous(100, 2.0) - 0.99).abs() < 1e-12);
+        assert!(remaining_fraction_homogeneous(100_000, 2.0) > 0.99999 - 1e-12);
+    }
+
+    #[test]
+    fn cubic_is_worse_than_quadratic() {
+        for p in [2usize, 8, 64, 512] {
+            assert!(
+                remaining_fraction_homogeneous(p, 3.0) >= remaining_fraction_homogeneous(p, 2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn partial_work_formula() {
+        // N = 10, P = 5, α = 2 → W_partial = 100/5 = 20.
+        assert!((partial_work_homogeneous(10.0, 5, 2.0) - 20.0).abs() < 1e-12);
+        // Consistency: remaining = 1 − W_partial/W.
+        let n = 37.0f64;
+        let p = 13;
+        let alpha = 2.5;
+        let w = n.powf(alpha);
+        let wp = partial_work_homogeneous(n, p, alpha);
+        assert!((remaining_fraction_homogeneous(p, alpha) - (1.0 - wp / w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorting_fraction_vanishes_with_n() {
+        let p = 64;
+        let f_small = sorting_nondivisible_fraction(1024.0, p);
+        let f_large = sorting_nondivisible_fraction(1e9, p);
+        assert!(f_large < f_small);
+        assert!(f_large < 0.21);
+        // Exact value: ln 64 / ln 2^20 = 6/20 for N = 2^20.
+        let f = sorting_nondivisible_fraction((1u64 << 20) as f64, 64);
+        assert!((f - 6.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversampling_ratio_grows_slowly() {
+        assert_eq!(paper_oversampling_ratio(2), 1);
+        assert_eq!(paper_oversampling_ratio(1 << 10), 100);
+        assert_eq!(paper_oversampling_ratio(1 << 20), 400);
+    }
+
+    #[test]
+    fn max_bucket_bound_above_mean_bucket() {
+        let n = 1 << 20;
+        let p = 16;
+        let bound = max_bucket_bound(n, p);
+        assert!(bound > (n / p) as f64);
+        // The slack factor shrinks as N grows.
+        let slack_small = max_bucket_bound(1 << 10, p) / ((1 << 10) as f64 / p as f64);
+        let slack_large = max_bucket_bound(1 << 30, p) / ((1 << 30) as f64 / p as f64);
+        assert!(slack_large < slack_small);
+    }
+}

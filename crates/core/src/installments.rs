@@ -1,0 +1,193 @@
+//! Multi-installment scheduling under *affine* communication costs.
+//!
+//! The paper's model charges `c_i · data` per transfer; the classical DLT
+//! literature also studies the affine model `L + c_i · data` with a fixed
+//! per-message latency `L`. Affine costs create the canonical trade-off
+//! that motivates multi-installment schedules:
+//!
+//! * **few rounds** — little latency paid, but long dead time while the
+//!   first wave travels;
+//! * **many rounds** — communication hides behind computation, but every
+//!   message pays `L` again.
+//!
+//! The makespan over the number of rounds `M` is therefore unimodal with
+//! an interior optimum `M*`. [`optimal_rounds`] finds it by simulating
+//! the uniform multi-round schedule on [`dlt_sim`] — the same executable
+//! semantics used everywhere else in this workspace, so the "optimum"
+//! is with respect to the real (simulated) timeline, not an
+//! approximation.
+
+use crate::error::DltError;
+use crate::linear::single_round_parallel;
+use dlt_platform::Platform;
+use dlt_sim::{ChunkAssignment, CommMode, Round, Schedule};
+
+/// Builds a uniform `rounds`-installment schedule whose every message
+/// carries the fixed latency `latency` (affine cost model).
+pub fn uniform_multi_round_affine(
+    platform: &Platform,
+    load: f64,
+    rounds: usize,
+    latency: f64,
+) -> Result<Schedule, DltError> {
+    if !(load.is_finite() && load > 0.0) {
+        return Err(DltError::InvalidLoad { value: load });
+    }
+    if rounds == 0 {
+        return Err(DltError::InvalidLoad { value: 0.0 });
+    }
+    assert!(latency >= 0.0, "latency must be non-negative");
+    let per_round = load / rounds as f64;
+    let proto = single_round_parallel(platform, per_round);
+    let schedule_rounds = (0..rounds)
+        .map(|_| {
+            Round::new(
+                proto
+                    .chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| ChunkAssignment::linear(i, x).with_overhead(latency))
+                    .collect(),
+            )
+        })
+        .collect();
+    Ok(Schedule::multi_round(schedule_rounds, CommMode::Parallel))
+}
+
+/// Simulated makespan of the affine uniform multi-round schedule.
+pub fn affine_makespan(
+    platform: &Platform,
+    load: f64,
+    rounds: usize,
+    latency: f64,
+) -> Result<f64, DltError> {
+    let schedule = uniform_multi_round_affine(platform, load, rounds, latency)?;
+    Ok(dlt_sim::simulate(platform, &schedule).makespan)
+}
+
+/// Result of the installment-count search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalRounds {
+    /// Best number of installments found.
+    pub rounds: usize,
+    /// Its simulated makespan.
+    pub makespan: f64,
+}
+
+/// Searches `M ∈ [1, max_rounds]` for the installment count minimizing
+/// the simulated makespan under per-message latency `latency`.
+///
+/// The scan exploits unimodality: it walks up from `M = 1` and stops two
+/// consecutive degradations after the best value (robust to the small
+/// plateau the integer grid creates), falling back to the full scan
+/// bound `max_rounds`.
+pub fn optimal_rounds(
+    platform: &Platform,
+    load: f64,
+    latency: f64,
+    max_rounds: usize,
+) -> Result<OptimalRounds, DltError> {
+    assert!(max_rounds >= 1);
+    let mut best = OptimalRounds {
+        rounds: 1,
+        makespan: affine_makespan(platform, load, 1, latency)?,
+    };
+    let mut worse_streak = 0;
+    for m in 2..=max_rounds {
+        let t = affine_makespan(platform, load, m, latency)?;
+        if t < best.makespan {
+            best = OptimalRounds {
+                rounds: m,
+                makespan: t,
+            };
+            worse_streak = 0;
+        } else {
+            worse_streak += 1;
+            if worse_streak >= 8 {
+                break;
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::homogeneous(4, 1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn zero_latency_matches_plain_multi_round() {
+        let p = platform();
+        for rounds in [1usize, 4, 16] {
+            let affine = affine_makespan(&p, 64.0, rounds, 0.0).unwrap();
+            let plain = crate::linear::multi_round_makespan(&p, 64.0, rounds).unwrap();
+            assert!((affine - plain).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn latency_increases_makespan() {
+        let p = platform();
+        let without = affine_makespan(&p, 64.0, 8, 0.0).unwrap();
+        let with = affine_makespan(&p, 64.0, 8, 0.5).unwrap();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn makespan_is_unimodal_with_interior_optimum() {
+        // Large latency ⇒ few rounds; tiny latency ⇒ many rounds; a
+        // moderate latency lands strictly between.
+        let p = platform();
+        let load = 256.0;
+        let latency = 2.0;
+        let best = optimal_rounds(&p, load, latency, 128).unwrap();
+        let at_1 = affine_makespan(&p, load, 1, latency).unwrap();
+        let at_128 = affine_makespan(&p, load, 128, latency).unwrap();
+        assert!(best.makespan <= at_1);
+        assert!(best.makespan <= at_128);
+        assert!(
+            best.rounds > 1 && best.rounds < 128,
+            "optimum M* = {} not interior",
+            best.rounds
+        );
+    }
+
+    #[test]
+    fn huge_latency_prefers_single_round() {
+        let p = platform();
+        let best = optimal_rounds(&p, 64.0, 1e6, 64).unwrap();
+        assert_eq!(best.rounds, 1);
+    }
+
+    #[test]
+    fn zero_latency_prefers_many_rounds() {
+        let p = platform();
+        let best = optimal_rounds(&p, 256.0, 0.0, 64).unwrap();
+        assert!(best.rounds > 8, "M* = {}", best.rounds);
+    }
+
+    #[test]
+    fn search_agrees_with_exhaustive_scan() {
+        let p = platform();
+        let load = 128.0;
+        let latency = 1.0;
+        let best = optimal_rounds(&p, load, latency, 64).unwrap();
+        let exhaustive = (1..=64)
+            .map(|m| (m, affine_makespan(&p, load, m, latency).unwrap()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.rounds, exhaustive.0);
+        assert!((best.makespan - exhaustive.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let p = platform();
+        assert!(uniform_multi_round_affine(&p, 0.0, 4, 1.0).is_err());
+        assert!(uniform_multi_round_affine(&p, 10.0, 0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Workload cost models.
+
+/// How much *work* processing `x` data units requires.
+///
+/// The paper's taxonomy:
+/// * [`LoadModel::Linear`] — classical DLT (`work = x`), fully divisible;
+/// * [`LoadModel::Power`] — `work = x^α` with `α > 1` (e.g. α = 2 for the
+///   outer product on a length-`x` slice), the non-linear loads of
+///   Section 2 that are *not* divisible;
+/// * [`LoadModel::NLogN`] — sorting-like costs (`work = x·log₂x`),
+///   "almost divisible" per Section 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadModel {
+    /// `work(x) = x`.
+    Linear,
+    /// `work(x) = x^alpha`, `alpha ≥ 1`.
+    Power {
+        /// The exponent α.
+        alpha: f64,
+    },
+    /// `work(x) = x·log₂(max(x, 1))`.
+    NLogN,
+}
+
+impl LoadModel {
+    /// Work units required to process `x` data units.
+    pub fn work(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0);
+        match *self {
+            LoadModel::Linear => x,
+            LoadModel::Power { alpha } => x.powf(alpha),
+            LoadModel::NLogN => {
+                if x <= 1.0 {
+                    0.0
+                } else {
+                    x * x.log2()
+                }
+            }
+        }
+    }
+
+    /// True when splitting preserves total work (`work(a) + work(b) =
+    /// work(a+b)`), i.e. the load is genuinely divisible.
+    pub fn is_divisible(&self) -> bool {
+        match *self {
+            LoadModel::Linear => true,
+            LoadModel::Power { alpha } => alpha == 1.0,
+            LoadModel::NLogN => false,
+        }
+    }
+
+    /// The exponent for power models; `None` otherwise.
+    pub fn alpha(&self) -> Option<f64> {
+        match *self {
+            LoadModel::Power { alpha } => Some(alpha),
+            _ => None,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match *self {
+            LoadModel::Linear => "linear".to_string(),
+            LoadModel::Power { alpha } => format!("x^{alpha}"),
+            LoadModel::NLogN => "n·log n".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_work() {
+        assert_eq!(LoadModel::Linear.work(5.0), 5.0);
+        assert!(LoadModel::Linear.is_divisible());
+    }
+
+    #[test]
+    fn power_work() {
+        let m = LoadModel::Power { alpha: 2.0 };
+        assert_eq!(m.work(3.0), 9.0);
+        assert!(!m.is_divisible());
+        assert_eq!(m.alpha(), Some(2.0));
+    }
+
+    #[test]
+    fn power_with_alpha_one_is_divisible() {
+        let m = LoadModel::Power { alpha: 1.0 };
+        assert!(m.is_divisible());
+    }
+
+    #[test]
+    fn nlogn_work() {
+        let m = LoadModel::NLogN;
+        assert_eq!(m.work(1.0), 0.0);
+        assert_eq!(m.work(0.5), 0.0);
+        assert!((m.work(8.0) - 24.0).abs() < 1e-12);
+        assert!(!m.is_divisible());
+    }
+
+    #[test]
+    fn superlinearity_of_power_model() {
+        // work(a) + work(b) < work(a+b) for α > 1.
+        let m = LoadModel::Power { alpha: 2.0 };
+        assert!(m.work(2.0) + m.work(3.0) < m.work(5.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LoadModel::Linear.name(), "linear");
+        assert_eq!(LoadModel::Power { alpha: 2.0 }.name(), "x^2");
+        assert_eq!(LoadModel::NLogN.name(), "n·log n");
+    }
+}

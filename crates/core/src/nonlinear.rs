@@ -1,0 +1,404 @@
+//! Non-linear ("α-power") divisible load allocation — the baselines of
+//! refs [31–35] whose asymptotic futility Section 2 proves.
+//!
+//! Processing `x` data units on worker `i` costs `w_i · x^α` time with
+//! `α > 1`. Minimizing the makespan of a single distribution round still
+//! yields an equal-finish-time optimum because each worker's finish time is
+//! strictly increasing in its share; but — and this is the paper's point —
+//! the *work* performed in that round, `Σ (x_i)^α ≤ N^α / P^{α-1}` on a
+//! homogeneous platform, is a vanishing fraction of the total `N^α`.
+//!
+//! Solvers use nested bisection: the outer loop searches the common finish
+//! time `T`, the inner loop inverts the strictly monotone per-worker cost
+//! `c_i·x + w_i·x^α = T` (analytically when possible). Both the paper's
+//! parallel-communication model and the sequential one-port model of
+//! [33–35] are provided.
+
+use crate::error::DltError;
+use dlt_platform::Platform;
+use dlt_sim::{ChunkAssignment, CommMode, Schedule};
+
+/// Result of a non-linear single-round allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonlinearAllocation {
+    /// Data units per worker, by worker id.
+    pub x: Vec<f64>,
+    /// Common finish time of all (participating) workers.
+    pub makespan: f64,
+    /// Exponent of the workload.
+    pub alpha: f64,
+    /// Total data `N` that was distributed.
+    pub n: f64,
+    /// Communication model.
+    pub comm_mode: CommMode,
+    /// Master service order (identity under the parallel model).
+    pub order: Vec<usize>,
+}
+
+impl NonlinearAllocation {
+    /// Total work executed during the round: `Σ x_i^α`.
+    pub fn work_done(&self) -> f64 {
+        self.x.iter().map(|&x| x.powf(self.alpha)).sum()
+    }
+
+    /// Total work the full dataset represents: `N^α`.
+    pub fn total_work(&self) -> f64 {
+        self.n.powf(self.alpha)
+    }
+
+    /// Fraction `W_partial / W` of the overall work executed in this round
+    /// — the quantity Section 2 proves tends to 0 (for α > 1) as the
+    /// platform grows.
+    pub fn work_fraction_done(&self) -> f64 {
+        self.work_done() / self.total_work()
+    }
+
+    /// Executable schedule (each chunk carries its non-linear work).
+    pub fn to_schedule(&self) -> Schedule {
+        let assignments = self
+            .order
+            .iter()
+            .map(|&i| ChunkAssignment::new(i, self.x[i], self.x[i].powf(self.alpha)))
+            .collect();
+        Schedule::single_round(assignments, self.comm_mode)
+    }
+}
+
+fn validate(n: f64, alpha: f64) -> Result<(), DltError> {
+    if !(n.is_finite() && n > 0.0) {
+        return Err(DltError::InvalidLoad { value: n });
+    }
+    if !(alpha.is_finite() && alpha >= 1.0) {
+        return Err(DltError::InvalidAlpha { value: alpha });
+    }
+    Ok(())
+}
+
+/// Solves `c·x + w·x^α = t` for `x ≥ 0` (strictly monotone LHS).
+///
+/// Returns 0 when `t ≤ 0`. Uses bisection on `[0, hi]` where `hi` doubles
+/// until the residual flips sign; ~90 iterations give full f64 precision.
+fn invert_cost(c: f64, w: f64, alpha: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let f = |x: f64| c * x + w * x.powf(alpha) - t;
+    let mut hi = 1.0;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        if hi > 1e300 {
+            return hi; // unreachable for sane inputs; avoid infinite loop
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * hi {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Homogeneous closed form (Section 2): each of the `P` workers receives
+/// `N/P` and finishes at `c·N/P + w·(N/P)^α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HomogeneousNonlinear {
+    /// Share per worker, `N/P`.
+    pub per_worker: f64,
+    /// Finish time `c·N/P + w·(N/P)^α`.
+    pub makespan: f64,
+    /// `W_partial = P·(N/P)^α = N^α / P^{α-1}`.
+    pub work_done: f64,
+    /// `W_partial / W = 1/P^{α-1}`.
+    pub work_fraction: f64,
+}
+
+/// The trivial optimal allocation on a fully homogeneous platform
+/// (Section 2): ordering is irrelevant, everyone gets `N/P`.
+pub fn homogeneous_allocation(
+    p: usize,
+    n: f64,
+    alpha: f64,
+    c: f64,
+    w: f64,
+) -> Result<HomogeneousNonlinear, DltError> {
+    validate(n, alpha)?;
+    assert!(p > 0, "need at least one worker");
+    let share = n / p as f64;
+    let makespan = c * share + w * share.powf(alpha);
+    let work_done = p as f64 * share.powf(alpha);
+    Ok(HomogeneousNonlinear {
+        per_worker: share,
+        makespan,
+        work_done,
+        work_fraction: work_done / n.powf(alpha),
+    })
+}
+
+/// Equal-finish-time allocation under the parallel communication model:
+/// minimizes the makespan of distributing and processing `n` data units of
+/// an `x^α` workload over a heterogeneous platform.
+pub fn equal_finish_parallel(
+    platform: &Platform,
+    n: f64,
+    alpha: f64,
+) -> Result<NonlinearAllocation, DltError> {
+    validate(n, alpha)?;
+    let shares_at = |t: f64| -> Vec<f64> {
+        platform
+            .iter()
+            .map(|p| invert_cost(p.inv_bandwidth(), p.w(), alpha, t))
+            .collect()
+    };
+    // T upper bound: give the whole load to the single best worker.
+    let t_hi_seed = platform
+        .iter()
+        .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
+        .fold(f64::INFINITY, f64::min);
+    let (t, x) = bisect_total(n, t_hi_seed, shares_at)?;
+    Ok(NonlinearAllocation {
+        x,
+        makespan: t,
+        alpha,
+        n,
+        comm_mode: CommMode::Parallel,
+        order: (0..platform.len()).collect(),
+    })
+}
+
+/// Equal-finish-time allocation under the sequential one-port model (the
+/// setting of refs [33–35]): the master sends chunk `σ(1)`, then `σ(2)`,
+/// etc.; worker `σ(k)` finishes at `Σ_{j≤k} c_{σ(j)} x_{σ(j)} +
+/// w_{σ(k)} x_{σ(k)}^α`. Defaults to serving workers by non-decreasing
+/// `c_i` when no order is given.
+pub fn equal_finish_one_port(
+    platform: &Platform,
+    n: f64,
+    alpha: f64,
+    order: Option<Vec<usize>>,
+) -> Result<NonlinearAllocation, DltError> {
+    validate(n, alpha)?;
+    let p = platform.len();
+    let order = match order {
+        Some(o) => {
+            let mut seen = vec![false; p];
+            if o.len() != p
+                || o.iter()
+                    .any(|&i| i >= p || std::mem::replace(&mut seen[i], true))
+            {
+                return Err(DltError::InvalidOrder);
+            }
+            o
+        }
+        None => crate::linear::optimal_one_port_order(platform),
+    };
+    let order_for_closure = order.clone();
+    let shares_at = move |t: f64| -> Vec<f64> {
+        let mut x = vec![0.0; p];
+        let mut elapsed_comm = 0.0;
+        for &i in &order_for_closure {
+            let worker = platform.worker(i);
+            let xi = invert_cost(worker.inv_bandwidth(), worker.w(), alpha, t - elapsed_comm);
+            x[i] = xi;
+            elapsed_comm += worker.inv_bandwidth() * xi;
+        }
+        x
+    };
+    let t_hi_seed = platform
+        .iter()
+        .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
+        .fold(f64::INFINITY, f64::min);
+    let (t, x) = bisect_total(n, t_hi_seed, shares_at)?;
+    Ok(NonlinearAllocation {
+        x,
+        makespan: t,
+        alpha,
+        n,
+        comm_mode: CommMode::OnePort,
+        order,
+    })
+}
+
+/// Outer bisection: finds `T` such that `Σ shares_at(T) = n`.
+fn bisect_total<F>(n: f64, t_hi_seed: f64, shares_at: F) -> Result<(f64, Vec<f64>), DltError>
+where
+    F: Fn(f64) -> Vec<f64>,
+{
+    let total = |t: f64| shares_at(t).iter().sum::<f64>();
+    let mut hi = t_hi_seed.max(1e-12);
+    let mut grow = 0;
+    while total(hi) < n {
+        hi *= 2.0;
+        grow += 1;
+        if grow > 200 {
+            return Err(DltError::NoConvergence {
+                context: "outer bisection upper bound",
+            });
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if total(mid) < n {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+    }
+    let t = 0.5 * (lo + hi);
+    let mut x = shares_at(t);
+    // Normalize the residual rounding error onto the shares so they sum to
+    // exactly n (keeps downstream accounting clean).
+    let s: f64 = x.iter().sum();
+    if s > 0.0 {
+        let scale = n / s;
+        for xi in &mut x {
+            *xi *= scale;
+        }
+    }
+    Ok((t, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_sim::simulate;
+
+    #[test]
+    fn invert_cost_roundtrip() {
+        for &(c, w, alpha) in &[(1.0, 1.0, 2.0), (0.5, 2.0, 1.5), (0.0, 1.0, 3.0)] {
+            for &x in &[0.1, 1.0, 7.3, 150.0] {
+                let t = c * x + w * f64::powf(x, alpha);
+                let back = invert_cost(c, w, alpha, t);
+                assert!((back - x).abs() < 1e-8 * x.max(1.0), "x={x} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert_cost_zero_time_gives_zero() {
+        assert_eq!(invert_cost(1.0, 1.0, 2.0, 0.0), 0.0);
+        assert_eq!(invert_cost(1.0, 1.0, 2.0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn homogeneous_closed_form_matches_paper() {
+        // W_partial/W = 1/P^{α−1}.
+        let r = homogeneous_allocation(16, 1000.0, 2.0, 1.0, 1.0).unwrap();
+        assert!((r.work_fraction - 1.0 / 16.0).abs() < 1e-12);
+        let r3 = homogeneous_allocation(16, 1000.0, 3.0, 1.0, 1.0).unwrap();
+        assert!((r3.work_fraction - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_matches_homogeneous_closed_form() {
+        let p = 8;
+        let n = 64.0;
+        let alpha = 2.0;
+        let platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+        let solved = equal_finish_parallel(&platform, n, alpha).unwrap();
+        let closed = homogeneous_allocation(p, n, alpha, 1.0, 1.0).unwrap();
+        for &xi in &solved.x {
+            assert!((xi - closed.per_worker).abs() < 1e-6, "xi {xi}");
+        }
+        assert!((solved.makespan - closed.makespan).abs() < 1e-6);
+        assert!((solved.work_fraction_done() - closed.work_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_allocation_finishes_simultaneously_in_simulation() {
+        let platform = Platform::from_speeds_and_costs(&[1.0, 2.0, 5.0], &[1.0, 0.3, 0.8]).unwrap();
+        let a = equal_finish_parallel(&platform, 30.0, 2.0).unwrap();
+        let report = simulate(&platform, &a.to_schedule());
+        for t in report.finish_times() {
+            assert!(
+                (t - a.makespan).abs() < 1e-6 * a.makespan,
+                "t={t} T={}",
+                a.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn one_port_allocation_finishes_simultaneously_in_simulation() {
+        let platform = Platform::from_speeds_and_costs(&[1.0, 2.0, 5.0], &[1.0, 0.3, 0.8]).unwrap();
+        let a = equal_finish_one_port(&platform, 30.0, 2.0, None).unwrap();
+        assert!((a.x.iter().sum::<f64>() - 30.0).abs() < 1e-9);
+        let report = simulate(&platform, &a.to_schedule());
+        for t in report.finish_times() {
+            assert!(
+                (t - a.makespan).abs() < 1e-5 * a.makespan,
+                "t={t} T={}",
+                a.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn faster_workers_get_more_data() {
+        let platform = Platform::from_speeds(&[1.0, 4.0]).unwrap();
+        let a = equal_finish_parallel(&platform, 20.0, 2.0).unwrap();
+        assert!(a.x[1] > a.x[0]);
+    }
+
+    #[test]
+    fn alpha_one_degenerates_to_linear_dlt() {
+        let platform =
+            Platform::from_speeds_and_costs(&[1.0, 2.0, 4.0], &[1.0, 0.5, 0.25]).unwrap();
+        let nl = equal_finish_parallel(&platform, 60.0, 1.0).unwrap();
+        let lin = crate::linear::single_round_parallel(&platform, 60.0);
+        for (a, b) in nl.x.iter().zip(&lin.chunks) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!((nl.makespan - lin.makespan).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_fraction_decreases_with_platform_size() {
+        let n = 1000.0;
+        let mut prev = 1.0;
+        for p in [2usize, 4, 16, 64] {
+            let platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+            let a = equal_finish_parallel(&platform, n, 2.0).unwrap();
+            let frac = a.work_fraction_done();
+            assert!(frac < prev, "p={p}: {frac} !< {prev}");
+            prev = frac;
+        }
+        // At p = 64, ~1/64 of the work is done: the no-free-lunch result.
+        assert!(prev < 0.02);
+    }
+
+    #[test]
+    fn one_port_never_beats_parallel_model() {
+        let platform = Platform::from_speeds_and_costs(&[1.0, 3.0, 2.0], &[0.5, 0.4, 0.9]).unwrap();
+        let par = equal_finish_parallel(&platform, 25.0, 2.0).unwrap();
+        let op = equal_finish_one_port(&platform, 25.0, 2.0, None).unwrap();
+        assert!(op.makespan >= par.makespan - 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let platform = Platform::from_speeds(&[1.0]).unwrap();
+        assert!(equal_finish_parallel(&platform, 0.0, 2.0).is_err());
+        assert!(equal_finish_parallel(&platform, 10.0, 0.5).is_err());
+        assert!(equal_finish_one_port(&platform, 10.0, 2.0, Some(vec![1])).is_err());
+        assert!(homogeneous_allocation(4, f64::NAN, 2.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn work_conservation() {
+        let platform = Platform::from_speeds(&[1.0, 2.0, 3.0]).unwrap();
+        let a = equal_finish_parallel(&platform, 42.0, 2.5).unwrap();
+        assert!((a.x.iter().sum::<f64>() - 42.0).abs() < 1e-9);
+        assert!(a.work_done() <= a.total_work());
+    }
+}

@@ -1,0 +1,99 @@
+//! Extension experiment: the affinity-aware demand-driven dispatch the
+//! paper's conclusion proposes ("favoring ... tasks that share blocks with
+//! data already stored on a slave processor").
+//!
+//! For each platform we tile the domain with `Commhom` blocks and replay
+//! the same demand-driven executor with increasing scan windows; the
+//! shipped volume (with caching) falls while the no-reuse volume and the
+//! load balance stay put — quantifying how much of `Commhom`'s overhead an
+//! affinity directive could claw back without touching the programming
+//! model.
+
+use dlt_outer::{demand_driven_affinity, hom_block_side, tile_domain};
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use dlt_stats::{Summary, Table};
+
+/// Runs the affinity sweep: mean shipped volume (relative to the lower
+/// bound) per scan window, over `trials` random platforms.
+pub fn run_affinity(
+    p: usize,
+    n: usize,
+    profile: &SpeedDistribution,
+    windows: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Table {
+    let mut t = Table::new(&[
+        "p",
+        "profile",
+        "window",
+        "shipped_over_lb_mean",
+        "shipped_over_lb_std",
+        "no_reuse_over_lb",
+        "imbalance_mean",
+    ])
+    .with_title("Extension: affinity-aware demand-driven dispatch (paper's conclusion)");
+    for &window in windows {
+        let mut shipped = Summary::new();
+        let mut no_reuse = Summary::new();
+        let mut imbalance = Summary::new();
+        for trial in 0..trials {
+            let platform = PlatformSpec::new(p, profile.clone())
+                .generate_stream(seed, trial as u64)
+                .unwrap();
+            let side = hom_block_side(&platform, n);
+            let blocks = tile_domain(n, side);
+            let out = demand_driven_affinity(&platform, n, &blocks, window);
+            let lb = dlt_outer::comm_lower_bound(&platform, n);
+            shipped.push(out.volume_with_reuse / lb);
+            no_reuse.push(out.volume_no_reuse / lb);
+            let e = out.imbalance();
+            if e.is_finite() {
+                imbalance.push(e);
+            }
+        }
+        t.row([
+            p.into(),
+            profile.name().into(),
+            window.into(),
+            shipped.mean().into(),
+            shipped.population_std().into(),
+            no_reuse.mean().into(),
+            imbalance.mean().into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_windows_ship_less() {
+        let t = run_affinity(
+            16,
+            1024,
+            &SpeedDistribution::paper_uniform(),
+            &[1, 8, 64],
+            5,
+            3,
+        );
+        let shipped = t.column("shipped_over_lb_mean").unwrap();
+        assert!(shipped[2] < shipped[0], "{shipped:?}");
+    }
+
+    #[test]
+    fn no_reuse_volume_is_window_invariant() {
+        let t = run_affinity(
+            8,
+            512,
+            &SpeedDistribution::paper_lognormal(),
+            &[1, 16],
+            3,
+            5,
+        );
+        let nr = t.column("no_reuse_over_lb").unwrap();
+        assert!((nr[0] - nr[1]).abs() < 1e-9);
+    }
+}

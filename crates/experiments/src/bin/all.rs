@@ -1,0 +1,114 @@
+//! Runs every experiment with paper-scale parameters and writes all CSVs
+//! under `results/` — the one-shot reproduction driver.
+//!
+//! `cargo run --release -p dlt-experiments --bin all -- [--quick]`
+//!
+//! `--quick` trims trial counts (useful in CI); without it the Figure 4
+//! sweep runs the paper's full 100 trials per point.
+
+use dlt_experiments::affinity::run_affinity;
+use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
+use dlt_experiments::footprint::run_fig2;
+use dlt_experiments::partition_quality::run_partition_quality;
+use dlt_experiments::rho::run_rho_table;
+use dlt_experiments::runner::{parse_flags, write_and_print};
+use dlt_experiments::sec2::{run_sec2, PAPER_ALPHAS};
+use dlt_experiments::sec3::{run_hetero_sort, run_sample_sort};
+use dlt_experiments::traces::{fig1_sample_sort_trace, fig3_matmul_trace};
+use dlt_platform::SpeedDistribution;
+
+fn main() {
+    let flags = parse_flags(std::env::args().skip(1));
+    let quick = flags.contains_key("quick");
+    let seed = 42u64;
+    let (fig4_trials, sort_trials, part_trials) = if quick {
+        (10, 2, 10)
+    } else {
+        (PAPER_TRIALS, 5, 50)
+    };
+
+    println!("== Section 2: no free lunch ==");
+    let t = run_sec2(
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+        &PAPER_ALPHAS,
+        4096.0,
+        seed,
+    );
+    write_and_print(&t, "sec2_no_free_lunch");
+
+    println!("== Section 3.1: sample sort ==");
+    let ns: &[usize] = if quick {
+        &[1 << 14, 1 << 16]
+    } else {
+        &[1 << 14, 1 << 16, 1 << 18, 1 << 20]
+    };
+    let t = run_sample_sort(ns, &[4, 16, 64], sort_trials, seed);
+    write_and_print(&t, "sec3_sample_sort");
+    let t = dlt_experiments::sec3::run_distribution_robustness(1 << 18, 16, sort_trials, seed);
+    write_and_print(&t, "sec3_distribution_robustness");
+
+    println!("== Section 3.2: heterogeneous sample sort ==");
+    for profile in [
+        SpeedDistribution::paper_uniform(),
+        SpeedDistribution::paper_lognormal(),
+    ] {
+        let t = run_hetero_sort(1 << 18, &[4, 8, 16, 32], &profile, sort_trials, seed);
+        write_and_print(&t, &format!("sec3_hetero_sort_{}", profile.name()));
+    }
+
+    println!("== Figure 1: sample-sort trace ==");
+    let (_, chart) = fig1_sample_sort_trace(4096, seed);
+    println!("{chart}");
+
+    println!("== Figure 2: footprints ==");
+    let t = run_fig2(4, 12.0, 240);
+    write_and_print(&t, "fig2_footprint");
+
+    println!("== Figure 3: matmul trace ==");
+    let (_, chart) = fig3_matmul_trace(16, 2, 4);
+    println!("{chart}");
+
+    println!("== Figure 4 (a)(b)(c) ==");
+    for profile in SpeedDistribution::paper_profiles() {
+        let pts = run_fig4(&profile, &PAPER_P_VALUES, fig4_trials, 10_000, seed);
+        let t = fig4_table(profile.name(), &pts);
+        write_and_print(&t, &format!("fig4_{}", profile.name()));
+    }
+
+    println!("== Section 4.1.3: rho table ==");
+    let t = run_rho_table(
+        &[1.0, 2.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0],
+        32,
+        4096,
+    );
+    write_and_print(&t, "rho_table");
+
+    println!("== Section 4.1.2: partition quality ==");
+    for profile in SpeedDistribution::paper_profiles() {
+        let t = run_partition_quality(
+            &[2, 4, 8, 16, 32, 64, 128, 256, 512],
+            &profile,
+            part_trials,
+            seed,
+        );
+        write_and_print(&t, &format!("partition_quality_{}", profile.name()));
+    }
+
+    println!("== Extension: affinity-aware dispatch (paper's conclusion) ==");
+    for profile in [
+        SpeedDistribution::paper_uniform(),
+        SpeedDistribution::paper_lognormal(),
+    ] {
+        let t = run_affinity(
+            32,
+            2048,
+            &profile,
+            &[1, 2, 4, 8, 16, 32, 64],
+            part_trials.min(20),
+            seed,
+        );
+        write_and_print(&t, &format!("affinity_{}", profile.name()));
+    }
+
+    println!("all experiments done.");
+}

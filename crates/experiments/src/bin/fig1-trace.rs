@@ -1,0 +1,20 @@
+//! Regenerates Figure 1: the phases of sample sort with p = 4 workers and
+//! oversampling s = 4, as an executable Gantt trace.
+//!
+//! `cargo run --release -p dlt-experiments --bin fig1-trace -- [--n N]
+//! [--seed S]`
+
+use dlt_experiments::runner::{flag_or, parse_flags};
+use dlt_experiments::traces::fig1_sample_sort_trace;
+
+fn main() {
+    let flags = parse_flags(std::env::args().skip(1));
+    let n: usize = flag_or(&flags, "n", 4096);
+    let seed: u64 = flag_or(&flags, "seed", 42);
+    let (events, chart) = fig1_sample_sort_trace(n, seed);
+    println!("Figure 1: sample sort, p = 4, s = 4, N = {n}");
+    println!("(P1 is the master: pivot choice + pivot sort, then bucket");
+    println!(" construction; P2..P5 receive their bucket and sort locally.)\n");
+    println!("{chart}");
+    println!("{} trace events", events.len());
+}

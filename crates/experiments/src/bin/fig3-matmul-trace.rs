@@ -1,0 +1,21 @@
+//! Regenerates Figure 3: the outer-product-based matrix multiplication —
+//! per-step row/column broadcasts on a processor grid.
+//!
+//! `cargo run --release -p dlt-experiments --bin fig3-matmul-trace --
+//! [--n N] [--q Q] [--steps S]`
+
+use dlt_experiments::runner::{flag_or, parse_flags};
+use dlt_experiments::traces::fig3_matmul_trace;
+
+fn main() {
+    let flags = parse_flags(std::env::args().skip(1));
+    let n: usize = flag_or(&flags, "n", 16);
+    let q: usize = flag_or(&flags, "q", 2);
+    let steps: usize = flag_or(&flags, "steps", 4);
+    let (events, chart) = fig3_matmul_trace(n, q, steps);
+    println!("Figure 3: outer-product MM on a {q}x{q} grid, N = {n}, first {steps} steps");
+    println!("(each step: receive the broadcast row of A / column of B, then");
+    println!(" apply the rank-1 update to the local C rectangle)\n");
+    println!("{chart}");
+    println!("{} trace events", events.len());
+}

@@ -1,0 +1,23 @@
+//! Regenerates the Section 4.1.3 analysis: ρ = Commhom/Commhet on
+//! two-class platforms vs the closed-form bounds.
+//!
+//! `cargo run --release -p dlt-experiments --bin rho-table -- [--p P]
+//! [--n N]`
+
+use dlt_experiments::rho::run_rho_table;
+use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+
+fn main() {
+    let flags = parse_flags(std::env::args().skip(1));
+    let p: usize = flag_or(&flags, "p", 32);
+    let n: usize = flag_or(&flags, "n", 4096);
+    let ks = [1.0, 2.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0];
+    let table = run_rho_table(&ks, p, n);
+    write_and_print(&table, "rho_table");
+    println!(
+        "Reading: the measured ratio rho grows like sqrt(k) and dominates the\n\
+         rigorous bound (4/7)·Σs/(√s₁·Σ√s); the paper's headline two-class\n\
+         bound (1+k)/(1+√k) ≥ √k−1 tracks it because Commhet sits within a\n\
+         few percent of the lower bound."
+    );
+}

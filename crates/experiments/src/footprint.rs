@@ -1,0 +1,93 @@
+//! Figure 2: per-processor memory footprint under the homogeneous-blocks
+//! and heterogeneous-rectangles distributions.
+
+use dlt_outer::{footprints, het_rects, hom_blocks};
+use dlt_platform::Platform;
+use dlt_stats::Table;
+
+/// Runs the Figure 2 scenario: a two-class platform (half slow, half
+/// `k×` faster), one `N×N` outer-product domain, and reports for every
+/// worker its *footprint* (distinct `a`/`b` entries it must hold) and its
+/// shipped *volume* under both strategies.
+pub fn run_fig2(p: usize, k: f64, n: usize) -> Table {
+    let platform = Platform::two_class(p, 1.0, k).unwrap();
+    let hom = hom_blocks(&platform, n);
+    let het = het_rects(&platform, n);
+    let hom_fp = footprints(n, &hom.blocks, &hom.owner, p);
+    let het_owner: Vec<usize> = (0..p).collect();
+    let het_fp = footprints(n, &het.rects, &het_owner, p);
+
+    let mut hom_volume = vec![0.0f64; p];
+    for (b, &w) in hom.blocks.iter().zip(&hom.owner) {
+        hom_volume[w] += b.half_perimeter() as f64;
+    }
+
+    let mut t = Table::new(&[
+        "worker",
+        "speed",
+        "hom_blocks",
+        "hom_volume",
+        "hom_footprint",
+        "het_volume",
+        "het_footprint",
+        "footprint_ratio",
+    ])
+    .with_title(&format!(
+        "Figure 2: data per worker, two-class platform p={p}, k={k}, N={n}"
+    ));
+    for w in 0..p {
+        let het_vol = het.rects[w].half_perimeter() as f64;
+        let ratio = if het_fp[w].total() > 0 {
+            hom_fp[w].total() as f64 / het_fp[w].total() as f64
+        } else {
+            0.0
+        };
+        t.row([
+            w.into(),
+            platform.worker(w).speed().into(),
+            hom.demand.assignments[w].len().into(),
+            hom_volume[w].into(),
+            hom_fp[w].total().into(),
+            het_vol.into(),
+            het_fp[w].total().into(),
+            ratio.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_workers_have_inflated_hom_footprint() {
+        let t = run_fig2(4, 12.0, 240);
+        let ratio = t.column("footprint_ratio").unwrap();
+        // Fast workers are rows 2 and 3.
+        assert!(ratio[2] > 1.2, "ratio {}", ratio[2]);
+        assert!(ratio[3] > 1.2, "ratio {}", ratio[3]);
+    }
+
+    #[test]
+    fn het_footprint_equals_het_volume() {
+        // For one rectangle, footprint = half-perimeter = shipped volume.
+        let t = run_fig2(4, 6.0, 300);
+        let vol = t.column("het_volume").unwrap();
+        let fp = t.column("het_footprint").unwrap();
+        for (v, f) in vol.iter().zip(&fp) {
+            assert!((v - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hom_volume_at_least_footprint() {
+        // Volume counts every copy; footprint counts distinct entries.
+        let t = run_fig2(6, 8.0, 360);
+        let vol = t.column("hom_volume").unwrap();
+        let fp = t.column("hom_footprint").unwrap();
+        for (v, f) in vol.iter().zip(&fp) {
+            assert!(v + 1e-9 >= *f, "volume {v} < footprint {f}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Section 4.1.2: empirical quality of the PERI-SUM partitioner — the
+//! paper observes it "always within 2% of the lower bound" despite the
+//! 7/4 worst-case guarantee.
+
+use dlt_partition::{bisection_partition, lower_bound, peri_sum_partition, sqrt_columns_partition};
+use dlt_platform::{PlatformSpec, SpeedDistribution};
+use dlt_stats::{Summary, Table};
+
+/// For each `p`, draws `trials` random area vectors from the given speed
+/// profile and reports the ratio (cost / lower bound) of the PERI-SUM DP
+/// and of the two ablation baselines.
+pub fn run_partition_quality(
+    ps: &[usize],
+    profile: &SpeedDistribution,
+    trials: usize,
+    seed: u64,
+) -> Table {
+    let mut t = Table::new(&[
+        "p",
+        "profile",
+        "peri_sum_mean",
+        "peri_sum_max",
+        "sqrt_cols_mean",
+        "bisection_mean",
+        "guarantee_1_plus_5_4",
+    ])
+    .with_title("Section 4.1.2: partition cost / lower bound (PERI-SUM vs baselines)");
+    for &p in ps {
+        let spec = PlatformSpec::new(p, profile.clone());
+        let mut dp = Summary::new();
+        let mut sq = Summary::new();
+        let mut bi = Summary::new();
+        let mut worst_guarantee = 0.0f64;
+        for trial in 0..trials {
+            let platform = spec.generate_stream(seed, trial as u64).unwrap();
+            let weights = platform.speeds();
+            let lb = lower_bound(&weights).unwrap();
+            let c_dp = peri_sum_partition(&weights).unwrap().total_half_perimeter();
+            let c_sq = sqrt_columns_partition(&weights)
+                .unwrap()
+                .total_half_perimeter();
+            let c_bi = bisection_partition(&weights)
+                .unwrap()
+                .total_half_perimeter();
+            dp.push(c_dp / lb);
+            sq.push(c_sq / lb);
+            bi.push(c_bi / lb);
+            worst_guarantee = worst_guarantee.max(c_dp / (1.0 + 1.25 * lb));
+        }
+        t.row([
+            p.into(),
+            profile.name().into(),
+            dp.mean().into(),
+            dp.max().into(),
+            sq.mean().into(),
+            bi.mean().into(),
+            worst_guarantee.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_is_within_a_few_percent_of_lb_for_large_p() {
+        let t = run_partition_quality(&[64, 128], &SpeedDistribution::paper_uniform(), 5, 1);
+        for v in t.column("peri_sum_max").unwrap() {
+            assert!(v < 1.05, "ratio {v}"); // paper reports ≤ ~2%
+        }
+    }
+
+    #[test]
+    fn guarantee_never_exceeded() {
+        for profile in SpeedDistribution::paper_profiles() {
+            let t = run_partition_quality(&[2, 8, 32], &profile, 5, 2);
+            for g in t.column("guarantee_1_plus_5_4").unwrap() {
+                assert!(g <= 1.0 + 1e-9, "guarantee ratio {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_beats_sqrt_columns_on_average() {
+        let t = run_partition_quality(&[32], &SpeedDistribution::paper_lognormal(), 10, 3);
+        let dp = t.column("peri_sum_mean").unwrap()[0];
+        let sq = t.column("sqrt_cols_mean").unwrap()[0];
+        assert!(dp <= sq + 1e-9);
+    }
+}

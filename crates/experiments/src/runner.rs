@@ -1,0 +1,106 @@
+//! Shared plumbing for the experiment binaries.
+
+use dlt_stats::Table;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Directory the CSV outputs go to: `$DLT_RESULTS` or `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("DLT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints the table to stdout and writes `results/<name>.csv`.
+/// Returns the path written.
+pub fn write_and_print(table: &Table, name: &str) -> PathBuf {
+    println!("{}", table.to_text());
+    let path = results_dir().join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
+/// Minimal `--key value` / `--flag` parser for the experiment binaries
+/// (keeps the dependency list to the approved crates). Positional
+/// arguments are returned under the key `""` in order.
+pub fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, Vec<String>> {
+    let mut out: HashMap<String, Vec<String>> = HashMap::new();
+    let mut key: Option<String> = None;
+    for arg in args {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            if let Some(prev) = key.take() {
+                out.entry(prev).or_default().push("true".to_string());
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            out.entry(k).or_default().push(arg);
+        } else {
+            out.entry(String::new()).or_default().push(arg);
+        }
+    }
+    if let Some(prev) = key {
+        out.entry(prev).or_default().push("true".to_string());
+    }
+    out
+}
+
+/// Fetches a parsed flag as `T`, with a default.
+pub fn flag_or<T: std::str::FromStr>(
+    flags: &HashMap<String, Vec<String>>,
+    key: &str,
+    default: T,
+) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.last())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> HashMap<String, Vec<String>> {
+        parse_flags(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let f = parse(&["uniform", "--trials", "50", "--fast"]);
+        assert_eq!(f[""], vec!["uniform"]);
+        assert_eq!(f["trials"], vec!["50"]);
+        assert_eq!(f["fast"], vec!["true"]);
+    }
+
+    #[test]
+    fn repeated_flags_accumulate() {
+        let f = parse(&["--p", "10", "--p", "20"]);
+        assert_eq!(f["p"], vec!["10", "20"]);
+    }
+
+    #[test]
+    fn flag_or_parses_with_default() {
+        let f = parse(&["--trials", "7"]);
+        assert_eq!(flag_or(&f, "trials", 100usize), 7);
+        assert_eq!(flag_or(&f, "n", 123usize), 123);
+        assert_eq!(flag_or(&f, "trials", 0.0f64), 7.0);
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_true() {
+        let f = parse(&["--verbose"]);
+        assert_eq!(f["verbose"], vec!["true"]);
+    }
+
+    #[test]
+    fn results_dir_env_override() {
+        // Note: avoid mutating the environment in parallel tests; only
+        // check the default here.
+        let d = results_dir();
+        assert!(d.ends_with("results") || d.is_absolute());
+    }
+}

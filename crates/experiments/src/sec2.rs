@@ -1,0 +1,88 @@
+//! Section 2: the no-free-lunch analysis — fraction of work remaining
+//! after one optimal DLT round of an `x^α` workload.
+
+use dlt_core::{analysis, nonlinear};
+use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
+use dlt_stats::Table;
+
+/// The α values tabulated (α = 1 is the linear control).
+pub const PAPER_ALPHAS: [f64; 4] = [1.0, 1.5, 2.0, 3.0];
+
+/// Runs the Section 2 experiment: for each `(P, α)`, the closed-form
+/// remaining fraction `1 − 1/P^{α−1}`, the fraction measured by the
+/// heterogeneous equal-finish solver on a homogeneous platform (they must
+/// agree), and the fraction on a random uniform platform of equal total
+/// speed (heterogeneity barely moves it — the paper's point that solving
+/// the hard allocation problem "has in practice no influence").
+pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64) -> Table {
+    let mut t = Table::new(&[
+        "P",
+        "alpha",
+        "remaining_closed_form",
+        "remaining_solver_hom",
+        "remaining_solver_uniform",
+        "makespan_hom",
+    ])
+    .with_title("Section 2: fraction of work remaining after one DLT round (W−W_partial)/W");
+    for &p in ps {
+        for &alpha in alphas {
+            let closed = analysis::remaining_fraction_homogeneous(p, alpha);
+            let hom_platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+            let hom = nonlinear::equal_finish_parallel(&hom_platform, n, alpha)
+                .expect("solver converges");
+            let uni_platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+                .generate(seed)
+                .unwrap();
+            let uni = nonlinear::equal_finish_parallel(&uni_platform, n, alpha)
+                .expect("solver converges");
+            t.row([
+                p.into(),
+                alpha.into(),
+                closed.into(),
+                (1.0 - hom.work_fraction_done()).into(),
+                (1.0 - uni.work_fraction_done()).into(),
+                hom.makespan.into(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_reproduces_closed_form() {
+        let t = run_sec2(&[4, 64], &[1.0, 2.0], 512.0, 1);
+        let closed = t.column("remaining_closed_form").unwrap();
+        let solver = t.column("remaining_solver_hom").unwrap();
+        for (c, s) in closed.iter().zip(&solver) {
+            assert!((c - s).abs() < 1e-6, "closed {c} vs solver {s}");
+        }
+    }
+
+    #[test]
+    fn remaining_fraction_tends_to_one() {
+        let t = run_sec2(&[2, 16, 256], &[2.0], 512.0, 1);
+        let vals = t.column("remaining_closed_form").unwrap();
+        assert!(vals[0] < vals[1] && vals[1] < vals[2]);
+        assert!(vals[2] > 0.99);
+    }
+
+    #[test]
+    fn heterogeneity_does_not_change_the_story() {
+        // Even with uniform random speeds, the remaining fraction at
+        // P = 64, α = 2 stays close to 1 − 1/64.
+        let t = run_sec2(&[64], &[2.0], 1024.0, 3);
+        let uni = t.column("remaining_solver_uniform").unwrap()[0];
+        assert!(uni > 0.9, "uniform-platform remaining fraction {uni}");
+    }
+
+    #[test]
+    fn linear_row_is_zero() {
+        let t = run_sec2(&[8], &[1.0], 128.0, 1);
+        assert!(t.column("remaining_closed_form").unwrap()[0].abs() < 1e-12);
+        assert!(t.column("remaining_solver_hom").unwrap()[0].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration smoke tests for the experiment harness: every runner must
+//! produce a well-formed table whose key invariants hold even at tiny
+//! trial counts (the full-scale numbers live in EXPERIMENTS.md).
+
+use dlt_experiments::{affinity, fig4, footprint, partition_quality, rho, sec2, sec3, traces};
+use dlt_outer::Strategy;
+use dlt_platform::SpeedDistribution;
+
+#[test]
+fn fig4_runner_covers_every_point() {
+    let ps = [10usize, 20];
+    let pts = fig4::run_fig4(&SpeedDistribution::paper_uniform(), &ps, 3, 2000, 1);
+    assert_eq!(pts.len(), ps.len() * 3);
+    let table = fig4::fig4_table("uniform", &pts);
+    assert_eq!(table.n_rows(), pts.len());
+    // Every strategy appears for every p.
+    for s in Strategy::paper_strategies() {
+        assert_eq!(fig4::series_for(&pts, s).len(), ps.len());
+    }
+    let csv = table.to_csv();
+    assert!(csv.contains("Commhet") && csv.contains("Commhom/k"));
+}
+
+#[test]
+fn sec2_table_is_consistent() {
+    let t = sec2::run_sec2(&[2, 32], &[1.0, 2.0], 256.0, 1);
+    assert_eq!(t.n_rows(), 4);
+    let closed = t.column("remaining_closed_form").unwrap();
+    let hom = t.column("remaining_solver_hom").unwrap();
+    for (c, h) in closed.iter().zip(&hom) {
+        assert!((c - h).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn sec3_tables_have_expected_shape() {
+    let t = sec3::run_sample_sort(&[1 << 12], &[4], 2, 1);
+    assert_eq!(t.n_rows(), 1);
+    assert_eq!(t.column("bound_violations").unwrap()[0], 0.0);
+
+    let t = sec3::run_hetero_sort(1 << 12, &[4], &SpeedDistribution::paper_uniform(), 2, 1);
+    assert_eq!(t.n_rows(), 1);
+    assert!(t.to_csv().contains("yes"));
+
+    let t = sec3::run_distribution_robustness(1 << 12, 4, 1, 1);
+    assert_eq!(t.n_rows(), 5);
+}
+
+#[test]
+fn rho_table_monotone_in_k() {
+    let t = rho::run_rho_table(&[1.0, 16.0], 8, 512);
+    let m = t.column("rho_measured").unwrap();
+    assert!(m[1] > m[0]);
+}
+
+#[test]
+fn partition_quality_within_guarantee() {
+    let t = partition_quality::run_partition_quality(
+        &[4, 16],
+        &SpeedDistribution::paper_lognormal(),
+        4,
+        1,
+    );
+    for g in t.column("guarantee_1_plus_5_4").unwrap() {
+        assert!(g <= 1.0);
+    }
+}
+
+#[test]
+fn footprint_table_has_one_row_per_worker() {
+    let t = footprint::run_fig2(4, 8.0, 160);
+    assert_eq!(t.n_rows(), 4);
+    // het footprint equals het volume for single rectangles.
+    let v = t.column("het_volume").unwrap();
+    let f = t.column("het_footprint").unwrap();
+    for (a, b) in v.iter().zip(&f) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn affinity_table_improves_with_window() {
+    let t = affinity::run_affinity(
+        8,
+        512,
+        &SpeedDistribution::paper_uniform(),
+        &[1, 32],
+        3,
+        1,
+    );
+    let shipped = t.column("shipped_over_lb_mean").unwrap();
+    assert!(shipped[1] <= shipped[0] + 1e-9);
+}
+
+#[test]
+fn traces_render_non_trivially() {
+    let (events, chart) = traces::fig1_sample_sort_trace(1024, 1);
+    assert!(events.len() >= 2 + 2 * 4);
+    assert!(chart.lines().count() >= 6);
+    let (events, chart) = traces::fig3_matmul_trace(8, 2, 2);
+    assert_eq!(events.len(), 16);
+    assert!(chart.contains('#'));
+}

@@ -1,0 +1,164 @@
+//! General matrix multiplication kernels: `C ← A · B`.
+
+use crate::matrix::Matrix;
+
+/// Reference triple loop (`ikj` order so the inner loop streams rows).
+/// The ground truth every other kernel and every distributed execution in
+/// this workspace is checked against.
+pub fn gemm_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for l in 0..k {
+            let aval = a.get(i, l);
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = b.row(l);
+            let crow = c.row_mut(i);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aval * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Cache-blocked kernel with `block × block` tiles.
+pub fn gemm_blocked(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(block > 0, "block size must be positive");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i0 in (0..m).step_by(block) {
+        let i1 = (i0 + block).min(m);
+        for l0 in (0..k).step_by(block) {
+            let l1 = (l0 + block).min(k);
+            for j0 in (0..n).step_by(block) {
+                let j1 = (j0 + block).min(n);
+                for i in i0..i1 {
+                    for l in l0..l1 {
+                        let aval = a.get(i, l);
+                        let brow = &b.row(l)[j0..j1];
+                        let crow = &mut c.row_mut(i)[j0..j1];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Multi-threaded kernel: rows of `C` are cut into bands, one scoped
+/// thread per band (crossbeam scope ⇒ no `'static` bound, no unsafety).
+pub fn gemm_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(threads > 0, "need at least one thread");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    let band_rows = m.div_ceil(threads).max(1);
+    let bands = c.row_bands_mut(band_rows);
+    crossbeam::scope(|scope| {
+        for (band_idx, band) in bands.into_iter().enumerate() {
+            let row0 = band_idx * band_rows;
+            scope.spawn(move |_| {
+                let rows_here = band.len() / n;
+                for r in 0..rows_here {
+                    let i = row0 + r;
+                    let crow = &mut band[r * n..(r + 1) * n];
+                    for l in 0..k {
+                        let aval = a.get(i, l);
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(l);
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_pair(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            Matrix::random(m, k, &mut rng),
+            Matrix::random(k, n, &mut rng),
+        )
+    }
+
+    #[test]
+    fn naive_identity() {
+        let (a, _) = random_pair(4, 4, 4, 1);
+        let c = gemm_naive(&a, &Matrix::identity(4));
+        assert!(c.approx_eq(&a, 1e-12));
+        let c2 = gemm_naive(&Matrix::identity(4), &a);
+        assert!(c2.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn naive_known_product() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64); // [[1,2],[3,4]]
+        let b = Matrix::from_fn(2, 2, |i, j| ((i + j) % 2) as f64); // [[0,1],[1,0]]
+        let c = gemm_naive(&a, &b);
+        assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let (a, b) = random_pair(17, 23, 11, 2);
+        let reference = gemm_naive(&a, &b);
+        for block in [1usize, 3, 8, 64] {
+            let c = gemm_blocked(&a, &b, block);
+            assert!(c.approx_eq(&reference, 1e-10), "block={block}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let (a, b) = random_pair(33, 16, 29, 3);
+        let reference = gemm_naive(&a, &b);
+        for threads in [1usize, 2, 4, 7] {
+            let c = gemm_parallel(&a, &b, threads);
+            assert!(c.approx_eq(&reference, 1e-10), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_more_threads_than_rows() {
+        let (a, b) = random_pair(2, 3, 2, 4);
+        let reference = gemm_naive(&a, &b);
+        let c = gemm_parallel(&a, &b, 16);
+        assert!(c.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let (a, b) = random_pair(1, 7, 5, 5);
+        let c = gemm_naive(&a, &b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = gemm_naive(&a, &b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Outer-product kernels `M ← a · bᵀ` — the `N²`-work, `N`-data operation
+//! of Section 4.1.
+
+use crate::matrix::Matrix;
+
+/// Full outer product: `M[i][j] = a[i] · b[j]`.
+pub fn outer_product(a: &[f64], b: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(a.len(), b.len());
+    for (i, &av) in a.iter().enumerate() {
+        let row = m.row_mut(i);
+        for (cell, &bv) in row.iter_mut().zip(b) {
+            *cell = av * bv;
+        }
+    }
+    m
+}
+
+/// Computes only the sub-rectangle `rows × cols` of the outer product —
+/// exactly the chunk of computation a processor owns under the paper's
+/// distributions. The inputs are the *slices* `a[rows]` and `b[cols]` the
+/// master would ship (their lengths are the communication cost), and the
+/// result is written into `out[rows × cols]` of the global matrix.
+pub fn outer_product_block(
+    out: &mut Matrix,
+    a_slice: &[f64],
+    b_slice: &[f64],
+    row0: usize,
+    col0: usize,
+) {
+    assert!(row0 + a_slice.len() <= out.rows(), "row block out of range");
+    assert!(col0 + b_slice.len() <= out.cols(), "col block out of range");
+    for (di, &av) in a_slice.iter().enumerate() {
+        let row = out.row_mut(row0 + di);
+        for (dj, &bv) in b_slice.iter().enumerate() {
+            row[col0 + dj] = av * bv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_outer_product() {
+        let m = outer_product(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn blocks_reassemble_the_full_product() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let reference = outer_product(&a, &b);
+        let mut m = Matrix::zeros(4, 4);
+        // Four 2×2 blocks.
+        for (r0, c0) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+            outer_product_block(&mut m, &a[r0..r0 + 2], &b[c0..c0 + 2], r0, c0);
+        }
+        assert!(m.approx_eq(&reference, 0.0));
+    }
+
+    #[test]
+    fn empty_block_is_noop() {
+        let mut m = Matrix::zeros(2, 2);
+        outer_product_block(&mut m, &[], &[], 1, 1);
+        assert!(m.approx_eq(&Matrix::zeros(2, 2), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_block_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        outer_product_block(&mut m, &[1.0, 2.0, 3.0], &[1.0], 0, 0);
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        // Every 2×2 minor has determinant 0.
+        let m = outer_product(&[2.0, 3.0, 5.0], &[7.0, 11.0, 13.0]);
+        for i in 0..2 {
+            for j in 0..2 {
+                let det = m.get(i, j) * m.get(i + 1, j + 1) - m.get(i, j + 1) * m.get(i + 1, j);
+                assert!(det.abs() < 1e-12);
+            }
+        }
+    }
+}

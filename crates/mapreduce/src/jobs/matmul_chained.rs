@@ -1,0 +1,157 @@
+//! The paper's *approach (ii)* for non-linear loads on MapReduce
+//! (Section 2): instead of replicating the input into an `N³` dataset,
+//! "decompose the overall operation using a long sequence of MapReduce
+//! operations" (ref 25, Berlińska & Drozdowski).
+//!
+//! Matrix multiplication decomposes into `N` outer products:
+//! `C = Σ_k A[:,k]·B[k,:]`. Each of the `N` jobs ships only the `2N`
+//! elements of one column of `A` and one row of `B` — total input volume
+//! `2N²` (**no replication**) — at the price of `N` job launches and an
+//! `N²`-pair shuffle per job. This module implements the chain and
+//! measures exactly that trade-off against [`super::matmul`]'s single
+//! replicated job.
+
+use crate::engine::{run_job, JobConfig, Mapper};
+use crate::metrics::VolumeReport;
+use dlt_linalg::Matrix;
+
+/// One record of step `k`: a row index (or column index) with its element
+/// of `A[:,k]` (resp. `B[k,:]`).
+#[derive(Debug, Clone, Copy)]
+enum StepRecord {
+    /// `(i, a[i][k])`.
+    ACol(u32, f64),
+    /// `(j, b[k][j])`.
+    BRow(u32, f64),
+}
+
+struct CrossMapper {
+    /// Row `k` of `B`, broadcast to mappers handling `A` records (a
+    /// map-side join — the standard way to express an outer product as a
+    /// single map phase).
+    b_row: Vec<f64>,
+}
+
+impl Mapper<StepRecord, (u32, u32), f64> for CrossMapper {
+    fn map(&self, r: StepRecord, emit: &mut dyn FnMut((u32, u32), f64)) {
+        match r {
+            StepRecord::ACol(i, a) => {
+                for (j, &b) in self.b_row.iter().enumerate() {
+                    emit((i, j as u32), a * b);
+                }
+            }
+            // B records were already broadcast into the mapper; nothing to
+            // emit (they are counted as shipped units, though). The payload
+            // must agree with the broadcast copy.
+            StepRecord::BRow(j, v) => debug_assert_eq!(v, self.b_row[j as usize]),
+        }
+    }
+    fn input_units(&self, _r: &StepRecord) -> usize {
+        1 // one matrix element per record
+    }
+}
+
+/// Chained matrix-product output.
+#[derive(Debug, Clone)]
+pub struct ChainedMatMulOutput {
+    /// The computed product.
+    pub c: Matrix,
+    /// Aggregate volumes over the `N` jobs.
+    pub volume: VolumeReport,
+    /// Number of MapReduce jobs launched (= `N`).
+    pub jobs: usize,
+}
+
+/// Runs `C = A·B` as a chain of `N` outer-product MapReduce jobs,
+/// accumulating rank-1 updates.
+pub fn run(a: &Matrix, b: &Matrix, config: &JobConfig) -> ChainedMatMulOutput {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "square matrices only");
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.cols(), n);
+
+    let mut c = Matrix::zeros(n, n);
+    let mut volume = VolumeReport::default();
+    for k in 0..n {
+        let b_row: Vec<f64> = (0..n).map(|j| b.get(k, j)).collect();
+        let mut records: Vec<StepRecord> = (0..n)
+            .map(|i| StepRecord::ACol(i as u32, a.get(i, k)))
+            .collect();
+        // The broadcast row is also data the master ships once per job.
+        records.extend((0..n).map(|j| StepRecord::BRow(j as u32, b.get(k, j))));
+        let mapper = CrossMapper { b_row };
+        let (pairs, report) = run_job(
+            records,
+            config,
+            &mapper,
+            &|_key: &(u32, u32), vs: Vec<f64>| vs.into_iter().sum::<f64>(),
+        );
+        for ((i, j), v) in pairs {
+            c.add_assign(i as usize, j as usize, v);
+        }
+        volume.map_input_units += report.map_input_units;
+        volume.map_input_records += report.map_input_records;
+        volume.shuffle_pairs += report.shuffle_pairs;
+        volume.reduce_output_records += report.reduce_output_records;
+    }
+    ChainedMatMulOutput { c, volume, jobs: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_linalg::gemm_naive;
+    use rand::SeedableRng;
+
+    fn random_pair(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            Matrix::random(n, n, &mut rng),
+            Matrix::random(n, n, &mut rng),
+        )
+    }
+
+    #[test]
+    fn chained_product_matches_reference() {
+        let (a, b) = random_pair(12, 1);
+        let out = run(&a, &b, &JobConfig::new(3, 3));
+        assert!(out.c.approx_eq(&gemm_naive(&a, &b), 1e-10));
+        assert_eq!(out.jobs, 12);
+    }
+
+    #[test]
+    fn no_input_replication() {
+        // Approach (ii)'s selling point: total input is 2N², not 2N³.
+        let n = 10;
+        let (a, b) = random_pair(n, 2);
+        let out = run(&a, &b, &JobConfig::new(2, 2));
+        assert_eq!(out.volume.map_input_units, 2 * n * n);
+        assert!((out.volume.replication_factor(2 * n * n) - 1.0).abs() < 1e-12);
+        // The shuffle still carries the full N³ work.
+        assert_eq!(out.volume.shuffle_pairs, n * n * n);
+    }
+
+    #[test]
+    fn chained_and_replicated_agree() {
+        let (a, b) = random_pair(9, 3);
+        let chained = run(&a, &b, &JobConfig::new(2, 2));
+        let replicated = super::super::matmul::run(&a, &b, &JobConfig::new(2, 2));
+        assert!(chained.c.approx_eq(&replicated.c, 1e-10));
+        // Same shuffle volume, N× less input volume.
+        assert_eq!(
+            chained.volume.shuffle_pairs,
+            replicated.volume.shuffle_pairs
+        );
+        assert_eq!(
+            replicated.volume.map_input_units,
+            9 * chained.volume.map_input_units
+        );
+    }
+
+    #[test]
+    fn identity_chain() {
+        let (a, _) = random_pair(7, 4);
+        let out = run(&a, &Matrix::identity(7), &JobConfig::new(2, 2));
+        assert!(out.c.approx_eq(&a, 1e-12));
+    }
+}

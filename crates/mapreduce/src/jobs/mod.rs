@@ -1,0 +1,7 @@
+//! Ready-made jobs: the canonical linear workload and the paper's
+//! replicated-input linear-algebra workloads.
+
+pub mod matmul;
+pub mod matmul_chained;
+pub mod outer;
+pub mod wordcount;

@@ -1,0 +1,74 @@
+//! Word count — the linear-complexity job MapReduce was designed for
+//! (the paper: "standard text processing operations"). Each input unit is
+//! touched once; no replication; the volume report is the baseline the
+//! non-linear jobs are compared against.
+
+use crate::engine::{run_job, JobConfig};
+use crate::metrics::VolumeReport;
+use std::collections::HashMap;
+
+/// Word-count output.
+#[derive(Debug, Clone)]
+pub struct WordCountOutput {
+    /// Occurrences per word.
+    pub counts: HashMap<String, usize>,
+    /// Engine volume report.
+    pub volume: VolumeReport,
+}
+
+/// Counts word occurrences across `documents`.
+pub fn run(documents: &[String], config: &JobConfig) -> WordCountOutput {
+    let inputs: Vec<String> = documents.to_vec();
+    let (pairs, volume) = run_job(
+        inputs,
+        config,
+        &|doc: String, emit: &mut dyn FnMut(String, usize)| {
+            for word in doc.split_whitespace() {
+                emit(word.to_string(), 1);
+            }
+        },
+        &|_word: &String, ones: Vec<usize>| ones.len(),
+    );
+    WordCountOutput {
+        counts: pairs.into_iter().collect(),
+        volume,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn counts_words() {
+        let out = run(
+            &docs(&["the quick brown fox", "the lazy dog", "the fox"]),
+            &JobConfig::new(2, 2),
+        );
+        assert_eq!(out.counts["the"], 3);
+        assert_eq!(out.counts["fox"], 2);
+        assert_eq!(out.counts["dog"], 1);
+        assert_eq!(out.volume.map_input_records, 3);
+        // 9 words → 9 shuffle pairs; no input replication.
+        assert_eq!(out.volume.shuffle_pairs, 9);
+        assert_eq!(out.volume.replication_factor(3), 1.0);
+    }
+
+    #[test]
+    fn empty_documents() {
+        let out = run(&docs(&["", "  "]), &JobConfig::new(1, 1));
+        assert!(out.counts.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_configs() {
+        let texts = docs(&["a b c a", "c b a", "a a a"]);
+        let a = run(&texts, &JobConfig::new(1, 1));
+        let b = run(&texts, &JobConfig::new(4, 3));
+        assert_eq!(a.counts, b.counts);
+    }
+}

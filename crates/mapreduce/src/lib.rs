@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # dlt-mapreduce
+//!
+//! A deliberately small but *real* MapReduce engine: threaded mappers and
+//! reducers, demand-driven split assignment, hash shuffle — with the
+//! communication-volume accounting the paper reasons about.
+//!
+//! The paper's introduction describes how linear algebra is shoehorned
+//! onto MapReduce: for a matrix product, "one could imagine to have as
+//! input dataset all compatible pairs `(a_{i,k}, b_{k,j})` for all `n³`
+//! possible values of `i, j, k`" — the `N²` input is *replicated* into an
+//! `N³` dataset so that the Map function becomes embarrassingly parallel.
+//! [`jobs::matmul`] implements exactly that job (and checks it against the
+//! reference GEMM of `dlt-linalg`), so the replication cost the paper
+//! criticizes is measured, not asserted. [`jobs::outer`] is the
+//! block-distributed outer product of Section 4.1.1, and
+//! [`jobs::wordcount`] the canonical linear-complexity job for which
+//! MapReduce was designed — the contrast between their
+//! [`VolumeReport`]s is the paper's thesis in numbers.
+//!
+//! ```
+//! use dlt_mapreduce::JobConfig;
+//!
+//! // Word count: the linear workload MapReduce is good at.
+//! let docs = vec!["a b a".to_string(), "b c".to_string()];
+//! let out = dlt_mapreduce::jobs::wordcount::run(&docs, &JobConfig::new(2, 2));
+//! assert_eq!(out.counts["a"], 2);
+//! assert_eq!(out.volume.shuffle_pairs, 5); // one pair per word occurrence
+//! ```
+
+pub mod engine;
+pub mod jobs;
+pub mod metrics;
+
+pub use engine::{run_job, JobConfig, Mapper, Reducer};
+pub use metrics::VolumeReport;

@@ -1,0 +1,94 @@
+//! Communication-volume accounting for MapReduce jobs.
+//!
+//! The paper's criticism of non-linear workloads on MapReduce is entirely
+//! about *volume*: how many data units must move to feed the mappers, and
+//! how many key/value pairs cross the shuffle. This report counts both,
+//! per worker, so jobs can be compared against the partitioned
+//! alternatives of `dlt-outer` in the same units.
+
+/// Volumes observed during one job execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VolumeReport {
+    /// Data units shipped to mappers (the job's notion of input size —
+    /// e.g. matrix elements, not records).
+    pub map_input_units: usize,
+    /// Number of input records mapped.
+    pub map_input_records: usize,
+    /// Key/value pairs emitted by the map phase = pairs crossing the
+    /// shuffle.
+    pub shuffle_pairs: usize,
+    /// Records produced by the reduce phase.
+    pub reduce_output_records: usize,
+    /// Records mapped by each map worker.
+    pub per_mapper_records: Vec<usize>,
+    /// Pairs received by each reduce partition.
+    pub per_reducer_pairs: Vec<usize>,
+}
+
+impl VolumeReport {
+    /// Replication factor of the input: map input units divided by
+    /// `distinct_units` (what a redundancy-free distribution would ship).
+    /// This is the paper's `N³ / N²`-style blow-up measure.
+    pub fn replication_factor(&self, distinct_units: usize) -> f64 {
+        if distinct_units == 0 {
+            0.0
+        } else {
+            self.map_input_units as f64 / distinct_units as f64
+        }
+    }
+
+    /// Largest / smallest reducer partition ratio (load skew); 1.0 is
+    /// perfectly balanced, `inf` when some reducer got nothing.
+    pub fn reduce_skew(&self) -> f64 {
+        let max = self.per_reducer_pairs.iter().copied().max().unwrap_or(0);
+        let min = self.per_reducer_pairs.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_factor() {
+        let r = VolumeReport {
+            map_input_units: 1000,
+            ..Default::default()
+        };
+        assert!((r.replication_factor(100) - 10.0).abs() < 1e-12);
+        assert_eq!(r.replication_factor(0), 0.0);
+    }
+
+    #[test]
+    fn reduce_skew_balanced() {
+        let r = VolumeReport {
+            per_reducer_pairs: vec![10, 10, 10],
+            ..Default::default()
+        };
+        assert_eq!(r.reduce_skew(), 1.0);
+    }
+
+    #[test]
+    fn reduce_skew_with_empty_partition() {
+        let r = VolumeReport {
+            per_reducer_pairs: vec![10, 0],
+            ..Default::default()
+        };
+        assert!(r.reduce_skew().is_infinite());
+    }
+
+    #[test]
+    fn reduce_skew_degenerate() {
+        let r = VolumeReport::default();
+        assert_eq!(r.reduce_skew(), 1.0);
+    }
+}

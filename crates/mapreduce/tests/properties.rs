@@ -1,0 +1,88 @@
+//! Property-based tests for the MapReduce engine: determinism, record
+//! conservation, and agreement between the replicated and chained
+//! matrix-product jobs.
+
+use dlt_linalg::{gemm_naive, Matrix};
+use dlt_mapreduce::{jobs, run_job, JobConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_output_is_independent_of_worker_count(
+        inputs in proptest::collection::vec((0u32..50, 0u64..1000), 0..300),
+        m in 1usize..8,
+        r in 1usize..8,
+    ) {
+        let sum_job = |cfg: &JobConfig| {
+            run_job(
+                inputs.clone(),
+                cfg,
+                &|(k, v): (u32, u64), emit: &mut dyn FnMut(u32, u64)| emit(k, v),
+                &|_k: &u32, vs: Vec<u64>| vs.into_iter().sum::<u64>(),
+            )
+        };
+        let (base, base_report) = sum_job(&JobConfig::new(1, 1));
+        let (out, report) = sum_job(&JobConfig::new(m, r));
+        prop_assert_eq!(out, base);
+        prop_assert_eq!(report.shuffle_pairs, base_report.shuffle_pairs);
+        prop_assert_eq!(report.map_input_records, inputs.len());
+    }
+
+    #[test]
+    fn shuffle_conserves_pairs(
+        inputs in proptest::collection::vec(0u32..20, 0..200),
+        fanout in 1usize..5,
+    ) {
+        let (_, report) = run_job(
+            inputs.clone(),
+            &JobConfig::new(3, 4),
+            &move |x: u32, emit: &mut dyn FnMut(u32, u32)| {
+                for d in 0..fanout as u32 {
+                    emit(x.wrapping_add(d), x);
+                }
+            },
+            &|_k: &u32, vs: Vec<u32>| vs.len(),
+        );
+        prop_assert_eq!(report.shuffle_pairs, inputs.len() * fanout);
+        let received: usize = report.per_reducer_pairs.iter().sum();
+        prop_assert_eq!(received, report.shuffle_pairs);
+    }
+
+    #[test]
+    fn replicated_and_chained_matmul_agree_with_gemm(
+        n in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+        let reference = gemm_naive(&a, &b);
+        let replicated = jobs::matmul::run(&a, &b, &JobConfig::new(2, 2));
+        let chained = jobs::matmul_chained::run(&a, &b, &JobConfig::new(2, 2));
+        prop_assert!(replicated.c.approx_eq(&reference, 1e-9));
+        prop_assert!(chained.c.approx_eq(&reference, 1e-9));
+        // Replication factor N vs 1 — the paper's point, for every instance.
+        prop_assert_eq!(
+            replicated.volume.map_input_units,
+            n * chained.volume.map_input_units
+        );
+    }
+
+    #[test]
+    fn block_outer_volume_halves_with_doubled_side(
+        exp in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << exp;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let big = jobs::outer::run(&a, &b, n, &JobConfig::new(2, 2));
+        let small = jobs::outer::run(&a, &b, n / 2, &JobConfig::new(2, 2));
+        prop_assert_eq!(small.volume.map_input_units, 2 * big.volume.map_input_units);
+    }
+}

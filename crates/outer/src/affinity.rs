@@ -1,0 +1,211 @@
+//! Affinity-aware demand-driven scheduling — the mechanism the paper's
+//! conclusion proposes:
+//!
+//! > "favoring among all available tasks on the master those that share
+//! > blocks with data already stored on a slave processor in the
+//! > demand-driven process would improve the results."
+//!
+//! A free worker no longer takes the head of the queue blindly: it scans a
+//! bounded *window* of pending blocks and picks the one that overlaps most
+//! with the `a`/`b` entries it has already received, shipping only the
+//! missing rows and columns. `window = 1` degenerates to plain FIFO, so
+//! the improvement is measured against the exact same executor.
+
+use dlt_partition::IntRect;
+use dlt_platform::Platform;
+
+/// Outcome of an affinity-aware demand-driven run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinityOutcome {
+    /// Owner of each block (parallel to the input `blocks`).
+    pub owner: Vec<usize>,
+    /// Volume under the paper's no-reuse accounting (`Σ half-perimeters`
+    /// over assignments) — identical for every window size.
+    pub volume_no_reuse: f64,
+    /// Volume actually shipped when workers cache received entries and
+    /// only missing rows/columns move.
+    pub volume_with_reuse: f64,
+    /// Worker finish times (compute only, like the paper's `e`).
+    pub finish_times: Vec<f64>,
+    /// Scan window used.
+    pub window: usize,
+}
+
+impl AffinityOutcome {
+    /// Load imbalance `e = (tmax − tmin)/tmin`.
+    pub fn imbalance(&self) -> f64 {
+        dlt_sim::imbalance(&self.finish_times)
+    }
+}
+
+/// Runs the demand-driven executor with an affinity scan window over the
+/// given blocks of an `n×n` domain.
+///
+/// Deterministic: the earliest-free worker (ties by id) chooses, among the
+/// first `window` still-pending blocks in queue order, the one whose rows
+/// and columns it already caches the most of (ties by queue position).
+pub fn demand_driven_affinity(
+    platform: &Platform,
+    n: usize,
+    blocks: &[IntRect],
+    window: usize,
+) -> AffinityOutcome {
+    assert!(window >= 1, "window must be at least 1");
+    let p = platform.len();
+    let mut pending: Vec<bool> = vec![true; blocks.len()];
+    let mut n_pending = blocks.len();
+    let mut queue_head = 0usize; // first index that may still be pending
+    let mut owner = vec![usize::MAX; blocks.len()];
+    let mut finish = vec![0.0f64; p];
+    let mut cached_rows = vec![vec![false; n]; p];
+    let mut cached_cols = vec![vec![false; n]; p];
+    let mut volume_no_reuse = 0.0;
+    let mut volume_with_reuse = 0.0;
+
+    while n_pending > 0 {
+        // Earliest-free worker, ties by id.
+        let w = (0..p)
+            .min_by(|&a, &b| finish[a].total_cmp(&finish[b]).then(a.cmp(&b)))
+            .expect("non-empty platform");
+        // Scan up to `window` pending blocks from the queue head.
+        while queue_head < blocks.len() && !pending[queue_head] {
+            queue_head += 1;
+        }
+        let mut best: Option<(usize, usize)> = None; // (block idx, overlap)
+        let mut seen = 0;
+        let mut idx = queue_head;
+        while idx < blocks.len() && seen < window {
+            if pending[idx] {
+                let overlap = overlap_with_cache(&blocks[idx], &cached_rows[w], &cached_cols[w]);
+                if best.is_none_or(|(_, o)| overlap > o) {
+                    best = Some((idx, overlap));
+                }
+                seen += 1;
+            }
+            idx += 1;
+        }
+        let (chosen, overlap) = best.expect("pending blocks remain");
+        pending[chosen] = false;
+        n_pending -= 1;
+        owner[chosen] = w;
+        let block = &blocks[chosen];
+        let hp = block.half_perimeter() as f64;
+        volume_no_reuse += hp;
+        volume_with_reuse += hp - overlap as f64;
+        finish[w] += block.area() as f64 * platform.worker(w).w();
+        for cell in cached_rows[w][block.row0..block.row1].iter_mut() {
+            *cell = true;
+        }
+        for cell in cached_cols[w][block.col0..block.col1].iter_mut() {
+            *cell = true;
+        }
+    }
+
+    AffinityOutcome {
+        owner,
+        volume_no_reuse,
+        volume_with_reuse,
+        finish_times: finish,
+        window,
+    }
+}
+
+fn overlap_with_cache(block: &IntRect, rows: &[bool], cols: &[bool]) -> usize {
+    let r = (block.row0..block.row1).filter(|&i| rows[i]).count();
+    let c = (block.col0..block.col1).filter(|&j| cols[j]).count();
+    r + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::tile_domain;
+
+    fn run(platform: &Platform, n: usize, side: usize, window: usize) -> AffinityOutcome {
+        let blocks = tile_domain(n, side);
+        demand_driven_affinity(platform, n, &blocks, window)
+    }
+
+    #[test]
+    fn every_block_gets_an_owner() {
+        let platform = Platform::from_speeds(&[1.0, 3.0]).unwrap();
+        let out = run(&platform, 64, 8, 4);
+        assert!(out.owner.iter().all(|&o| o < 2));
+    }
+
+    #[test]
+    fn window_one_is_fifo() {
+        // With window 1 the choice is forced, so volumes and owners must
+        // match a straight left-to-right replay.
+        let platform = Platform::from_speeds(&[1.0, 2.0, 4.0]).unwrap();
+        let n = 60;
+        let blocks = tile_domain(n, 10);
+        let out = demand_driven_affinity(&platform, n, &blocks, 1);
+        // Replay manually.
+        let mut finish = [0.0f64; 3];
+        for (i, b) in blocks.iter().enumerate() {
+            let w = (0..3)
+                .min_by(|&a, &c| finish[a].total_cmp(&finish[c]).then(a.cmp(&c)))
+                .unwrap();
+            assert_eq!(out.owner[i], w, "block {i}");
+            finish[w] += b.area() as f64 * platform.worker(w).w();
+        }
+    }
+
+    #[test]
+    fn no_reuse_volume_is_window_independent() {
+        let platform = Platform::two_class(4, 1.0, 8.0).unwrap();
+        let v1 = run(&platform, 128, 16, 1).volume_no_reuse;
+        let v16 = run(&platform, 128, 16, 16).volume_no_reuse;
+        assert!((v1 - v16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affinity_reduces_shipped_volume() {
+        // The paper's conclusion: preferring blocks sharing cached data
+        // reduces the actually-shipped volume on heterogeneous platforms.
+        let platform = Platform::two_class(4, 1.0, 8.0).unwrap();
+        let fifo = run(&platform, 256, 16, 1);
+        let affine = run(&platform, 256, 16, 32);
+        assert!(
+            affine.volume_with_reuse < fifo.volume_with_reuse,
+            "affinity {} !< fifo {}",
+            affine.volume_with_reuse,
+            fifo.volume_with_reuse
+        );
+        // And reuse always beats the paper's no-reuse accounting.
+        assert!(fifo.volume_with_reuse <= fifo.volume_no_reuse + 1e-9);
+    }
+
+    #[test]
+    fn load_balance_is_preserved() {
+        // Choosing by affinity must not wreck the demand-driven balance.
+        let platform = Platform::two_class(4, 1.0, 8.0).unwrap();
+        let fifo = run(&platform, 256, 8, 1);
+        let affine = run(&platform, 256, 8, 32);
+        assert!(
+            affine.imbalance() < fifo.imbalance() + 0.25,
+            "affinity imbalance {} vs fifo {}",
+            affine.imbalance(),
+            fifo.imbalance()
+        );
+    }
+
+    #[test]
+    fn single_worker_caches_everything_once() {
+        let platform = Platform::from_speeds(&[1.0]).unwrap();
+        let out = run(&platform, 32, 8, 8);
+        // One worker eventually caches all of a and b: shipped volume is
+        // bounded by 2N plus what the first blocks cost... in fact with
+        // caching, total shipped = distinct rows + cols = 2N.
+        assert!((out.volume_with_reuse - 64.0).abs() < 1e-9);
+        assert!(out.volume_no_reuse > out.volume_with_reuse);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let platform = Platform::from_speeds(&[1.0]).unwrap();
+        let _ = run(&platform, 8, 4, 0);
+    }
+}

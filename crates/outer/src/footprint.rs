@@ -1,0 +1,115 @@
+//! Per-worker memory footprints (the paper's Figure 2): which entries of
+//! the vectors `a` and `b` a worker must hold given its assigned chunks.
+//!
+//! The demand-driven `Commhom` strategy scatters a fast worker's blocks all
+//! over the domain, so its footprint approaches the *whole* of `a` and `b`;
+//! the `Commhet` rectangle confines it to `width + height` entries. The
+//! communication *volume* counts every shipped copy; the *footprint* counts
+//! distinct entries (i.e. what perfect caching could achieve).
+
+use dlt_partition::IntRect;
+
+/// Distinct input data a worker touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// Number of distinct `a` (row) indices.
+    pub a_entries: usize,
+    /// Number of distinct `b` (column) indices.
+    pub b_entries: usize,
+}
+
+impl Footprint {
+    /// Total distinct entries.
+    pub fn total(&self) -> usize {
+        self.a_entries + self.b_entries
+    }
+}
+
+/// Computes the footprint of every worker from a block/rectangle
+/// assignment: `owner[i]` is the worker that executes `blocks[i]`.
+pub fn footprints(n: usize, blocks: &[IntRect], owner: &[usize], p: usize) -> Vec<Footprint> {
+    assert_eq!(blocks.len(), owner.len());
+    let mut rows = vec![vec![false; n]; p];
+    let mut cols = vec![vec![false; n]; p];
+    for (block, &w) in blocks.iter().zip(owner) {
+        assert!(w < p, "owner {w} out of range");
+        for cell in rows[w][block.row0..block.row1].iter_mut() {
+            *cell = true;
+        }
+        for cell in cols[w][block.col0..block.col1].iter_mut() {
+            *cell = true;
+        }
+    }
+    (0..p)
+        .map(|w| Footprint {
+            a_entries: rows[w].iter().filter(|&&x| x).count(),
+            b_entries: cols[w].iter().filter(|&&x| x).count(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_platform::Platform;
+
+    #[test]
+    fn single_rect_footprint_is_half_perimeter() {
+        let blocks = vec![IntRect::new(2, 7, 3, 9)];
+        let f = footprints(10, &blocks, &[0], 1);
+        assert_eq!(f[0].a_entries, 6);
+        assert_eq!(f[0].b_entries, 5);
+        assert_eq!(f[0].total(), 11);
+    }
+
+    #[test]
+    fn scattered_blocks_inflate_footprint() {
+        // Two diagonal blocks: distinct rows and cols add up.
+        let blocks = vec![IntRect::new(0, 2, 0, 2), IntRect::new(8, 10, 8, 10)];
+        let f = footprints(10, &blocks, &[0, 0], 1);
+        assert_eq!(f[0].a_entries, 4);
+        assert_eq!(f[0].b_entries, 4);
+    }
+
+    #[test]
+    fn overlapping_rows_counted_once() {
+        // Two horizontally adjacent blocks share rows.
+        let blocks = vec![IntRect::new(0, 2, 0, 2), IntRect::new(2, 4, 0, 2)];
+        let f = footprints(4, &blocks, &[0, 0], 1);
+        assert_eq!(f[0].a_entries, 2); // same two rows
+        assert_eq!(f[0].b_entries, 4);
+    }
+
+    #[test]
+    fn hom_vs_het_footprint_for_fast_worker() {
+        // Figure 2's story: on a strongly two-class platform, the fast
+        // workers' footprint under Commhom is much larger than under
+        // Commhet.
+        let platform = Platform::two_class(4, 1.0, 12.0).unwrap();
+        let n = 260;
+        let hom = crate::hom::hom_blocks(&platform, n);
+        let hom_fp = footprints(n, &hom.blocks, &hom.owner, 4);
+        let het = crate::het::het_rects(&platform, n);
+        let owners: Vec<usize> = (0..4).collect();
+        let het_fp = footprints(n, &het.rects, &owners, 4);
+        // Worker 3 is fast (speed 12): demand-driven scatters its blocks
+        // across the whole domain, so its footprint approaches 2N, whereas
+        // the Commhet rectangle needs only its half-perimeter.
+        assert!(
+            hom_fp[3].total() as f64 > 1.3 * het_fp[3].total() as f64,
+            "hom {} vs het {}",
+            hom_fp[3].total(),
+            het_fp[3].total()
+        );
+        // Demand-driven footprint of the fast worker covers nearly all of a
+        // and b (Figure 2(b)'s "high memory footprint").
+        assert!(hom_fp[3].total() as f64 > 1.8 * n as f64);
+    }
+
+    #[test]
+    fn empty_assignment_is_zero() {
+        let f = footprints(5, &[], &[], 3);
+        assert!(f.iter().all(|fp| fp.total() == 0));
+        assert_eq!(f.len(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! The `Commhet` strategy: one rectangle per worker, areas proportional to
+//! speed, chosen by the PERI-SUM partitioner (Section 4.1.2).
+
+use dlt_partition::{peri_sum_partition, scale_to_grid, IntRect};
+use dlt_platform::Platform;
+
+/// Outcome of the heterogeneous-rectangles strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HetRectsOutcome {
+    /// Rectangle of worker `i` on the `N×N` grid (possibly degenerate for
+    /// very slow workers on small domains).
+    pub rects: Vec<IntRect>,
+    /// Total data shipped: `Σ (width + height)`.
+    pub comm_volume: f64,
+    /// Load imbalance of the static assignment (compute time is
+    /// `area·w_i`), over workers that received any cells.
+    pub imbalance: f64,
+}
+
+/// Runs `Commhet`: PERI-SUM partition of the unit square with areas
+/// `x_i = s_i/Σs`, scaled exactly to the `N×N` grid.
+pub fn het_rects(platform: &Platform, n: usize) -> HetRectsOutcome {
+    assert!(n > 0);
+    let shares = platform.normalized_speeds();
+    let partition =
+        peri_sum_partition(&shares).expect("normalized speeds are valid partition areas");
+    let rects = scale_to_grid(&partition, n);
+    let comm_volume = rects
+        .iter()
+        .filter(|r| !r.is_degenerate())
+        .map(|r| r.half_perimeter() as f64)
+        .sum();
+    // Static imbalance: finish time of worker i is area_i · w_i. Workers
+    // with degenerate rectangles finish at 0 and are excluded only when
+    // the integer grid genuinely cannot host them (area < 1 cell).
+    let finish: Vec<f64> = rects
+        .iter()
+        .zip(platform.iter())
+        .map(|(r, w)| r.area() as f64 * w.w())
+        .collect();
+    HetRectsOutcome {
+        imbalance: dlt_sim::imbalance(&finish),
+        comm_volume,
+        rects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_partition::grid::covers_exactly;
+
+    #[test]
+    fn homogeneous_platform_gets_near_square_grid() {
+        let platform = Platform::homogeneous(4, 1.0, 1.0).unwrap();
+        let out = het_rects(&platform, 100);
+        assert!(covers_exactly(&out.rects, 100));
+        // 2×2 grid of 50×50 squares: volume = 4·100 = 400.
+        assert!((out.comm_volume - 400.0).abs() < 1e-9);
+        assert!(out.imbalance < 1e-12);
+    }
+
+    #[test]
+    fn rects_tile_the_domain() {
+        let platform = Platform::from_speeds(&[1.0, 3.0, 2.0, 7.0, 5.0]).unwrap();
+        let out = het_rects(&platform, 257);
+        assert!(covers_exactly(&out.rects, 257));
+    }
+
+    #[test]
+    fn areas_proportional_to_speeds() {
+        let platform = Platform::from_speeds(&[1.0, 3.0]).unwrap();
+        let n = 1000;
+        let out = het_rects(&platform, n);
+        let a0 = out.rects[0].area() as f64;
+        let a1 = out.rects[1].area() as f64;
+        assert!((a1 / a0 - 3.0).abs() < 0.05, "ratio {}", a1 / a0);
+        // Rounding keeps the static imbalance tiny on a large grid.
+        assert!(out.imbalance < 0.02, "imbalance {}", out.imbalance);
+    }
+
+    #[test]
+    fn het_beats_hom_on_heterogeneous_platforms() {
+        let platform = Platform::two_class(10, 1.0, 16.0).unwrap();
+        let n = 512;
+        let het = het_rects(&platform, n);
+        let hom = crate::hom::hom_blocks(&platform, n);
+        assert!(
+            het.comm_volume < hom.comm_volume,
+            "het {} vs hom {}",
+            het.comm_volume,
+            hom.comm_volume
+        );
+    }
+
+    #[test]
+    fn near_lower_bound_for_many_workers() {
+        use dlt_platform::{PlatformSpec, SpeedDistribution};
+        let platform = PlatformSpec::new(100, SpeedDistribution::paper_uniform())
+            .generate(7)
+            .unwrap();
+        let n = 10_000;
+        let out = het_rects(&platform, n);
+        let lb = crate::strategies::comm_lower_bound(&platform, n);
+        let ratio = out.comm_volume / lb;
+        // The paper reports ≤ ~2% above the bound.
+        assert!((1.0..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_worker() {
+        let platform = Platform::from_speeds(&[1.0]).unwrap();
+        let out = het_rects(&platform, 64);
+        assert_eq!(out.rects[0], IntRect::new(0, 64, 0, 64));
+        assert!((out.comm_volume - 128.0).abs() < 1e-12);
+    }
+}

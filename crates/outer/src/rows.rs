@@ -1,0 +1,113 @@
+//! The 1D ("row/column") distribution the paper's Section 4 intro lists
+//! among MapReduce-implemented layouts: each worker receives a horizontal
+//! band of the outer-product domain — its share of the rows of `a` plus
+//! **all** of `b`.
+//!
+//! Load balance is perfect by construction (band heights proportional to
+//! speed), but the communication volume is `N + p·N`: every worker
+//! replicates the entire `b` vector. Against the lower bound `2NΣ√x_i ≤
+//! 2N√p`, the 1D layout is a `Θ(√p)` factor off even on homogeneous
+//! platforms — the reason the paper (and ScaLAPACK) prefer 2D layouts.
+
+use dlt_partition::IntRect;
+use dlt_platform::Platform;
+
+/// Outcome of the 1D row-band distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBandsOutcome {
+    /// Band of worker `i` (full domain width).
+    pub rects: Vec<IntRect>,
+    /// Total data shipped: `Σ_i (h_i + N) = N + p·N`.
+    pub comm_volume: f64,
+    /// Static load imbalance (compute time `area·w_i`).
+    pub imbalance: f64,
+}
+
+/// Splits the `N×N` domain into horizontal bands with heights
+/// proportional to worker speeds (largest-remainder rounding keeps the
+/// cover exact).
+pub fn row_bands(platform: &Platform, n: usize) -> RowBandsOutcome {
+    assert!(n > 0);
+    let shares = platform.normalized_speeds();
+    let p = platform.len();
+    // Cumulative rounding: band i spans [round(cum_i·N), round(cum_{i+1}·N)).
+    let mut bounds = Vec::with_capacity(p + 1);
+    let mut cum = 0.0;
+    bounds.push(0usize);
+    for &x in &shares {
+        cum += x;
+        bounds.push(((cum * n as f64).round() as usize).min(n));
+    }
+    *bounds.last_mut().unwrap() = n;
+    let rects: Vec<IntRect> = (0..p)
+        .map(|i| IntRect::new(0, n, bounds[i], bounds[i + 1].max(bounds[i])))
+        .collect();
+    let comm_volume = rects
+        .iter()
+        .filter(|r| !r.is_degenerate())
+        .map(|r| r.half_perimeter() as f64)
+        .sum();
+    let finish: Vec<f64> = rects
+        .iter()
+        .zip(platform.iter())
+        .map(|(r, w)| r.area() as f64 * w.w())
+        .collect();
+    RowBandsOutcome {
+        imbalance: dlt_sim::imbalance(&finish),
+        comm_volume,
+        rects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_partition::grid::covers_exactly;
+
+    #[test]
+    fn bands_tile_the_domain() {
+        let platform = Platform::from_speeds(&[1.0, 3.0, 2.0]).unwrap();
+        let out = row_bands(&platform, 97);
+        assert!(covers_exactly(&out.rects, 97));
+        for r in &out.rects {
+            assert_eq!(r.width(), 97); // full width: all of b
+        }
+    }
+
+    #[test]
+    fn volume_is_n_plus_pn() {
+        let platform = Platform::homogeneous(8, 1.0, 1.0).unwrap();
+        let n = 64;
+        let out = row_bands(&platform, n);
+        assert!((out.comm_volume - (n + 8 * n) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_by_construction() {
+        let platform = Platform::from_speeds(&[1.0, 2.0, 5.0]).unwrap();
+        let out = row_bands(&platform, 800);
+        assert!(out.imbalance < 0.02, "imbalance {}", out.imbalance);
+    }
+
+    #[test]
+    fn sqrt_p_worse_than_2d_even_homogeneous() {
+        // 1D: (p+1)N vs LB 2N√p → ratio ≈ √p/2.
+        let p = 64;
+        let platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+        let n = 640;
+        let out = row_bands(&platform, n);
+        let lb = crate::strategies::comm_lower_bound(&platform, n);
+        let ratio = out.comm_volume / lb;
+        assert!(ratio > (p as f64).sqrt() / 2.0 * 0.95, "ratio {ratio}");
+        // ...while the 2D Commhet stays near 1.
+        let het = crate::het::het_rects(&platform, n);
+        assert!(het.comm_volume / lb < 1.05);
+    }
+
+    #[test]
+    fn extreme_shares_may_degenerate_but_still_tile() {
+        let platform = Platform::from_speeds(&[1e-6, 1.0, 1.0]).unwrap();
+        let out = row_bands(&platform, 10);
+        assert!(covers_exactly(&out.rects, 10));
+    }
+}

@@ -1,0 +1,122 @@
+//! Recursive-bisection baseline partitioner.
+//!
+//! Splits the processor set into two halves of (greedily) balanced total
+//! area, cuts the current rectangle perpendicular to its longer side
+//! proportionally to the two halves, and recurses. This is the classical
+//! geometry-oblivious baseline; the `partition` bench compares it against
+//! the column-based DP of [`crate::peri_sum_partition`].
+
+use crate::error::PartitionError;
+use crate::normalize_areas;
+use crate::rect::{Rect, SquarePartition};
+
+/// Recursive bisection of the unit square into rectangles with areas
+/// proportional to `weights`.
+pub fn bisection_partition(weights: &[f64]) -> Result<SquarePartition, PartitionError> {
+    let areas = normalize_areas(weights)?;
+    let p = areas.len();
+    let mut rects = vec![Rect::new(0.0, 0.0, 0.0, 0.0); p];
+    let indices: Vec<usize> = (0..p).collect();
+    bisect(&areas, &indices, Rect::new(0.0, 0.0, 1.0, 1.0), &mut rects);
+    Ok(SquarePartition { rects })
+}
+
+fn bisect(areas: &[f64], group: &[usize], region: Rect, out: &mut [Rect]) {
+    match group.len() {
+        0 => {}
+        1 => out[group[0]] = region,
+        _ => {
+            let (left, right) = split_balanced(areas, group);
+            let wl: f64 = left.iter().map(|&i| areas[i]).sum();
+            let wr: f64 = right.iter().map(|&i| areas[i]).sum();
+            let frac = wl / (wl + wr);
+            let (ra, rb) = if region.w >= region.h {
+                // Cut vertically.
+                let w1 = region.w * frac;
+                (
+                    Rect::new(region.x, region.y, w1, region.h),
+                    Rect::new(region.x + w1, region.y, region.w - w1, region.h),
+                )
+            } else {
+                // Cut horizontally.
+                let h1 = region.h * frac;
+                (
+                    Rect::new(region.x, region.y, region.w, h1),
+                    Rect::new(region.x, region.y + h1, region.w, region.h - h1),
+                )
+            };
+            bisect(areas, &left, ra, out);
+            bisect(areas, &right, rb, out);
+        }
+    }
+}
+
+/// Greedy balanced split: iterate areas in non-increasing order, always
+/// assigning to the lighter side; both sides are guaranteed non-empty.
+fn split_balanced(areas: &[f64], group: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut sorted: Vec<usize> = group.to_vec();
+    sorted.sort_by(|&a, &b| areas[b].partial_cmp(&areas[a]).unwrap().then(a.cmp(&b)));
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let (mut wl, mut wr) = (0.0f64, 0.0f64);
+    for &i in &sorted {
+        // Keep both sides non-empty: the last element goes to an empty side
+        // if one exists.
+        if right.is_empty() && left.len() == group.len() - 1 {
+            right.push(i);
+            wr += areas[i];
+        } else if wl <= wr {
+            left.push(i);
+            wl += areas[i];
+        } else {
+            right.push(i);
+            wr += areas[i];
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_partition;
+
+    #[test]
+    fn single_processor() {
+        let p = bisection_partition(&[2.0]).unwrap();
+        assert!((p.rects[0].area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_equal_processors_split_in_half() {
+        let p = bisection_partition(&[1.0, 1.0]).unwrap();
+        assert!((p.rects[0].area() - 0.5).abs() < 1e-12);
+        assert!((p.rects[1].area() - 0.5).abs() < 1e-12);
+        validate_partition(&p, &[1.0, 1.0], 1e-9).unwrap();
+    }
+
+    #[test]
+    fn valid_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for p in [2usize, 3, 8, 21, 64] {
+            let weights: Vec<f64> = (0..p).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let part = bisection_partition(&weights).unwrap();
+            validate_partition(&part, &weights, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn power_of_two_equal_areas_gives_grid_cost() {
+        let part = bisection_partition(&[1.0; 16]).unwrap();
+        // Perfect 4×4 grid: total half-perimeter = 16 · 0.5 = 8 = LB.
+        let lb = crate::lower_bound::lower_bound(&[1.0; 16]).unwrap();
+        assert!((part.total_half_perimeter() - lb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(bisection_partition(&[]).is_err());
+        assert!(bisection_partition(&[f64::INFINITY]).is_err());
+    }
+}

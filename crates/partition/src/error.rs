@@ -1,0 +1,45 @@
+//! Error type for the partitioners.
+
+use std::fmt;
+
+/// Errors raised by partition construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// At least one area is required.
+    EmptyInput,
+    /// Areas must be finite and strictly positive.
+    InvalidArea {
+        /// Offending area index.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::EmptyInput => write!(f, "cannot partition for zero processors"),
+            PartitionError::InvalidArea { index, value } => {
+                write!(f, "area {index} must be finite and > 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(PartitionError::EmptyInput.to_string().contains("zero"));
+        let e = PartitionError::InvalidArea {
+            index: 2,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("area 2"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Lower and upper bounds on the PERI-SUM objective.
+
+use crate::error::PartitionError;
+use crate::normalize_areas;
+
+/// Absolute lower bound on the sum of half-perimeters of *any* partition of
+/// the unit square into rectangles of (normalized) areas `a_i`:
+///
+/// `LB = 2 Σ √a_i`
+///
+/// (each rectangle of area `a` has half-perimeter at least that of the
+/// square of the same area, `2√a`). This is `LBComm` in Section 4.1.2 of
+/// the paper; scale by `N` for an `N × N` domain.
+pub fn lower_bound(weights: &[f64]) -> Result<f64, PartitionError> {
+    let areas = normalize_areas(weights)?;
+    Ok(2.0 * areas.iter().map(|a| a.sqrt()).sum::<f64>())
+}
+
+/// The guarantee of the column-based PERI-SUM algorithm (ref 41):
+/// `Ĉ ≤ 1 + (5/4)·LB`, which is itself at most `(7/4)·LB` because
+/// `LB ≥ 2`.
+pub fn peri_sum_upper_bound(weights: &[f64]) -> Result<f64, PartitionError> {
+    Ok(1.0 + 1.25 * lower_bound(weights)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_area_bound_is_two() {
+        // One rectangle covering the unit square: LB = 2√1 = 2.
+        assert!((lower_bound(&[5.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_areas_bound() {
+        // p equal areas: LB = 2·p·√(1/p) = 2√p.
+        let p = 16;
+        let lb = lower_bound(&vec![1.0; p]).unwrap();
+        assert!((lb - 2.0 * (p as f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_is_scale_invariant() {
+        let a = lower_bound(&[1.0, 2.0, 3.0]).unwrap();
+        let b = lower_bound(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lb_at_least_two() {
+        // Σ√a_i ≥ √(Σa_i) = 1 for any distribution.
+        let lb = lower_bound(&[0.9, 0.05, 0.05]).unwrap();
+        assert!(lb >= 2.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_lower() {
+        let w = [3.0, 1.0, 2.0, 0.5];
+        let lb = lower_bound(&w).unwrap();
+        let ub = peri_sum_upper_bound(&w).unwrap();
+        assert!(ub > lb);
+        assert!(ub <= 1.75 * lb + 1e-12);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(lower_bound(&[]).is_err());
+    }
+}

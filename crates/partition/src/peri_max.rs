@@ -1,0 +1,110 @@
+//! Column-based partition for the PERI-MAX objective (minimize the largest
+//! half-perimeter).
+//!
+//! Within a column of width `w` containing areas sorted non-increasingly,
+//! the largest half-perimeter is attained by the *largest* area of the
+//! column: `w + a_max/w`. The dynamic program below therefore minimizes,
+//! over contiguous groupings of the sorted sequence, the maximum per-column
+//! value `w_c + a_first(c)/w_c`.
+//!
+//! PERI-MAX is NP-hard in general (ref 41); this column-based DP is the
+//! standard approximation. It is exposed mainly for completeness and for
+//! the ablation benches — the reproduced paper's objective is PERI-SUM.
+
+use crate::error::PartitionError;
+use crate::normalize_areas;
+use crate::peri_sum::{build_columns, sort_and_prefix};
+use crate::rect::SquarePartition;
+
+/// Computes a column-based partition minimizing the maximum half-perimeter
+/// over contiguous sorted groupings. `O(p²)`.
+pub fn peri_max_partition(weights: &[f64]) -> Result<SquarePartition, PartitionError> {
+    let areas = normalize_areas(weights)?;
+    let (order, sorted, prefix) = sort_and_prefix(&areas);
+    let p = areas.len();
+
+    // best[i] = minimal achievable max half-perimeter for sorted[i..].
+    let mut best = vec![f64::INFINITY; p + 1];
+    let mut cut = vec![usize::MAX; p + 1];
+    best[p] = 0.0;
+    for i in (0..p).rev() {
+        for j in (i + 1)..=p {
+            let w = prefix[j] - prefix[i];
+            let col_max = w + sorted[i] / w;
+            let cost = col_max.max(best[j]);
+            if cost < best[i] {
+                best[i] = cost;
+                cut[i] = j;
+            }
+        }
+    }
+
+    let mut columns = Vec::new();
+    let mut i = 0;
+    while i < p {
+        let j = cut[i];
+        columns.push((i, j));
+        i = j;
+    }
+    Ok(build_columns(&order, &sorted, &prefix, &columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peri_sum::peri_sum_partition;
+    use crate::validate::validate_partition;
+
+    #[test]
+    fn single_area() {
+        let p = peri_max_partition(&[1.0]).unwrap();
+        assert!((p.max_half_perimeter() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_areas_grid() {
+        let p = peri_max_partition(&[1.0; 9]).unwrap();
+        // 3×3 grid: every half-perimeter is 2/3.
+        assert!((p.max_half_perimeter() - 2.0 / 3.0).abs() < 1e-9);
+        validate_partition(&p, &[1.0; 9], 1e-9).unwrap();
+    }
+
+    #[test]
+    fn produces_valid_partitions_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for p in [2usize, 5, 17, 40] {
+            let weights: Vec<f64> = (0..p).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let part = peri_max_partition(&weights).unwrap();
+            validate_partition(&part, &weights, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn max_objective_not_worse_than_peri_sum_partition() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let weights: Vec<f64> = (0..12).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let by_max = peri_max_partition(&weights).unwrap().max_half_perimeter();
+            let by_sum = peri_sum_partition(&weights).unwrap().max_half_perimeter();
+            assert!(by_max <= by_sum + 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_half_perimeter_lower_bound() {
+        // Any rectangle of area a has half-perimeter ≥ 2√a; the max over
+        // rectangles is ≥ 2√(a_max).
+        let weights = [4.0, 1.0, 1.0];
+        let part = peri_max_partition(&weights).unwrap();
+        let amax: f64 = 4.0 / 6.0;
+        assert!(part.max_half_perimeter() >= 2.0 * amax.sqrt() - 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(peri_max_partition(&[]).is_err());
+        assert!(peri_max_partition(&[0.0]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Structural validation of square partitions.
+
+use crate::normalize_areas;
+use crate::rect::SquarePartition;
+
+/// Checks that `partition` is a genuine partition of the unit square into
+/// rectangles of the prescribed (normalized) areas:
+///
+/// 1. one rectangle per weight;
+/// 2. every rectangle lies inside the unit square (within `tol`);
+/// 3. rectangle `i` has area `weights[i]/Σweights` within `tol`;
+/// 4. the areas sum to 1 within `tol`;
+/// 5. no two rectangles overlap.
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_partition(
+    partition: &SquarePartition,
+    weights: &[f64],
+    tol: f64,
+) -> Result<(), String> {
+    let areas = normalize_areas(weights).map_err(|e| e.to_string())?;
+    if partition.len() != areas.len() {
+        return Err(format!(
+            "partition has {} rectangles for {} areas",
+            partition.len(),
+            areas.len()
+        ));
+    }
+    for (i, r) in partition.rects.iter().enumerate() {
+        if r.w < -tol || r.h < -tol {
+            return Err(format!("rectangle {i} has negative extent: {r:?}"));
+        }
+        if r.x < -tol || r.y < -tol || r.x1() > 1.0 + tol || r.y1() > 1.0 + tol {
+            return Err(format!("rectangle {i} escapes the unit square: {r:?}"));
+        }
+        if (r.area() - areas[i]).abs() > tol {
+            return Err(format!(
+                "rectangle {i} has area {} but {} was prescribed",
+                r.area(),
+                areas[i]
+            ));
+        }
+    }
+    let total: f64 = partition.rects.iter().map(|r| r.area()).sum();
+    if (total - 1.0).abs() > tol * areas.len() as f64 {
+        return Err(format!("areas sum to {total}, expected 1"));
+    }
+    for i in 0..partition.len() {
+        for j in (i + 1)..partition.len() {
+            if partition.rects[i].overlaps(&partition.rects[j]) {
+                return Err(format!(
+                    "rectangles {i} and {j} overlap: {:?} vs {:?}",
+                    partition.rects[i], partition.rects[j]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    fn halves() -> SquarePartition {
+        SquarePartition {
+            rects: vec![Rect::new(0.0, 0.0, 0.5, 1.0), Rect::new(0.5, 0.0, 0.5, 1.0)],
+        }
+    }
+
+    #[test]
+    fn accepts_exact_partition() {
+        validate_partition(&halves(), &[1.0, 1.0], 1e-12).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let err = validate_partition(&halves(), &[1.0, 1.0, 1.0], 1e-12).unwrap_err();
+        assert!(err.contains("2 rectangles for 3 areas"));
+    }
+
+    #[test]
+    fn rejects_wrong_area() {
+        let err = validate_partition(&halves(), &[3.0, 1.0], 1e-12).unwrap_err();
+        assert!(err.contains("area"));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        // Two half-height slabs that overlap in the band y ∈ [0.25, 0.5]
+        // while still having the prescribed areas and total area 1.
+        let p = SquarePartition {
+            rects: vec![
+                Rect::new(0.0, 0.0, 1.0, 0.5),
+                Rect::new(0.0, 0.25, 1.0, 0.5),
+            ],
+        };
+        let err = validate_partition(&p, &[0.5, 0.5], 1e-12).unwrap_err();
+        assert!(err.contains("overlap"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_escaping_rectangle() {
+        let p = SquarePartition {
+            rects: vec![Rect::new(0.5, 0.0, 0.75, 1.0)],
+        };
+        let err = validate_partition(&p, &[1.0], 1e-9).unwrap_err();
+        assert!(err.contains("escapes"), "got: {err}");
+    }
+}

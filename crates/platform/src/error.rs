@@ -1,0 +1,79 @@
+//! Error type shared by platform constructors and generators.
+
+use std::fmt;
+
+/// Errors raised when constructing an invalid platform description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A processing speed was not a strictly positive finite number.
+    InvalidSpeed {
+        /// Offending worker index.
+        index: usize,
+        /// The rejected speed.
+        value: f64,
+    },
+    /// An inverse bandwidth was negative, NaN or infinite.
+    InvalidBandwidth {
+        /// Offending worker index.
+        index: usize,
+        /// The rejected inverse bandwidth.
+        value: f64,
+    },
+    /// A platform must contain at least one worker.
+    EmptyPlatform,
+    /// A distribution parameter was out of its valid range.
+    InvalidDistribution {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidSpeed { index, value } => write!(
+                f,
+                "worker {index}: processing speed must be finite and > 0, got {value}"
+            ),
+            PlatformError::InvalidBandwidth { index, value } => write!(
+                f,
+                "worker {index}: inverse bandwidth must be finite and >= 0, got {value}"
+            ),
+            PlatformError::EmptyPlatform => write!(f, "a platform needs at least one worker"),
+            PlatformError::InvalidDistribution { reason } => {
+                write!(f, "invalid speed distribution: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_value() {
+        let err = PlatformError::InvalidSpeed {
+            index: 3,
+            value: -1.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("worker 3"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn display_empty_platform() {
+        assert!(PlatformError::EmptyPlatform
+            .to_string()
+            .contains("at least one"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(PlatformError::EmptyPlatform);
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The heterogeneous star platform: an ordered collection of workers.
+
+use crate::error::PlatformError;
+use crate::processor::Processor;
+
+/// A master–worker star platform (the master is implicit).
+///
+/// Workers are stored in id order (`worker(i).id() == i`). Most paper
+/// formulas refer to workers *sorted by non-decreasing speed*; use
+/// [`Platform::sorted_by_speed`] or [`Platform::min_speed`] for that view
+/// rather than reordering the platform itself, so worker ids stay stable
+/// across the simulator, the strategies and the reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    workers: Vec<Processor>,
+}
+
+impl Platform {
+    /// Builds a platform from explicit workers. Ids are re-assigned to the
+    /// position in the vector.
+    pub fn new(workers: Vec<Processor>) -> Result<Self, PlatformError> {
+        if workers.is_empty() {
+            return Err(PlatformError::EmptyPlatform);
+        }
+        let workers = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| w.with_id(i))
+            .collect();
+        Ok(Self { workers })
+    }
+
+    /// Platform with the given speeds and unit inverse bandwidth (`c_i = 1`).
+    pub fn from_speeds(speeds: &[f64]) -> Result<Self, PlatformError> {
+        Self::from_speeds_and_costs(speeds, &vec![1.0; speeds.len()])
+    }
+
+    /// Platform with per-worker speeds `s_i` and inverse bandwidths `c_i`.
+    pub fn from_speeds_and_costs(speeds: &[f64], costs: &[f64]) -> Result<Self, PlatformError> {
+        assert_eq!(
+            speeds.len(),
+            costs.len(),
+            "speeds and costs must have the same length"
+        );
+        if speeds.is_empty() {
+            return Err(PlatformError::EmptyPlatform);
+        }
+        let workers = speeds
+            .iter()
+            .zip(costs)
+            .enumerate()
+            .map(|(i, (&s, &c))| Processor::new(i, s, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { workers })
+    }
+
+    /// Fully homogeneous platform: `p` workers of speed `speed` and inverse
+    /// bandwidth `c`.
+    pub fn homogeneous(p: usize, speed: f64, c: f64) -> Result<Self, PlatformError> {
+        Self::from_speeds_and_costs(&vec![speed; p], &vec![c; p])
+    }
+
+    /// The two-class platform of Section 4.1.3: the first half of the
+    /// workers runs at `slow_speed`, the second half `k` times faster.
+    /// `p` must be even so the halves are exact.
+    pub fn two_class(p: usize, slow_speed: f64, k: f64) -> Result<Self, PlatformError> {
+        assert!(
+            p.is_multiple_of(2),
+            "two_class requires an even worker count"
+        );
+        let mut speeds = vec![slow_speed; p / 2];
+        speeds.extend(std::iter::repeat_n(slow_speed * k, p / 2));
+        Self::from_speeds(&speeds)
+    }
+
+    /// Number of workers `p`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the platform has no workers (never holds for a constructed
+    /// platform; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Worker `i` (panics when out of range, like slice indexing).
+    #[inline]
+    pub fn worker(&self, i: usize) -> &Processor {
+        &self.workers[i]
+    }
+
+    /// Iterates over the workers in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Processor> {
+        self.workers.iter()
+    }
+
+    /// All speeds `s_i`, in id order.
+    pub fn speeds(&self) -> Vec<f64> {
+        self.workers.iter().map(|w| w.speed()).collect()
+    }
+
+    /// All inverse bandwidths `c_i`, in id order.
+    pub fn inv_bandwidths(&self) -> Vec<f64> {
+        self.workers.iter().map(|w| w.inv_bandwidth()).collect()
+    }
+
+    /// `Σ s_i`.
+    pub fn total_speed(&self) -> f64 {
+        self.workers.iter().map(|w| w.speed()).sum()
+    }
+
+    /// Normalized speeds `x_i = s_i / Σ s_k` (sums to 1).
+    pub fn normalized_speeds(&self) -> Vec<f64> {
+        let total = self.total_speed();
+        self.workers.iter().map(|w| w.speed() / total).collect()
+    }
+
+    /// Smallest speed `s_1` in the paper's sorted notation.
+    pub fn min_speed(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.speed())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest speed `s_p`.
+    pub fn max_speed(&self) -> f64 {
+        self.workers.iter().map(|w| w.speed()).fold(0.0, f64::max)
+    }
+
+    /// Worker indices sorted by non-decreasing speed (the paper's
+    /// `s_1 ≤ s_2 ≤ … ≤ s_p` convention), ties broken by id for
+    /// determinism.
+    pub fn sorted_by_speed(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.workers[a]
+                .speed()
+                .partial_cmp(&self.workers[b].speed())
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// True when all speeds are within relative tolerance `tol` of each
+    /// other.
+    pub fn is_speed_homogeneous(&self, tol: f64) -> bool {
+        let min = self.min_speed();
+        let max = self.max_speed();
+        (max - min) <= tol * max
+    }
+
+    /// Heterogeneity measure used in reports: `s_max / s_min`.
+    pub fn speed_ratio(&self) -> f64 {
+        self.max_speed() / self.min_speed()
+    }
+}
+
+impl<'a> IntoIterator for &'a Platform {
+    type Item = &'a Processor;
+    type IntoIter = std::slice::Iter<'a, Processor>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.workers.iter()
+    }
+}
+
+/// Incremental construction of heterogeneous platforms.
+///
+/// ```
+/// use dlt_platform::PlatformBuilder;
+/// let platform = PlatformBuilder::new()
+///     .worker(1.0, 1.0)
+///     .worker(2.0, 0.5)
+///     .build()
+///     .unwrap();
+/// assert_eq!(platform.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PlatformBuilder {
+    speeds: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+impl PlatformBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one worker with speed `s` and inverse bandwidth `c`.
+    pub fn worker(mut self, speed: f64, inv_bandwidth: f64) -> Self {
+        self.speeds.push(speed);
+        self.costs.push(inv_bandwidth);
+        self
+    }
+
+    /// Adds `n` identical workers.
+    pub fn workers(mut self, n: usize, speed: f64, inv_bandwidth: f64) -> Self {
+        self.speeds.extend(std::iter::repeat_n(speed, n));
+        self.costs.extend(std::iter::repeat_n(inv_bandwidth, n));
+        self
+    }
+
+    /// Finalizes the platform, validating every worker.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        Platform::from_speeds_and_costs(&self.speeds, &self.costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_speeds_assigns_ids_in_order() {
+        let p = Platform::from_speeds(&[3.0, 1.0, 2.0]).unwrap();
+        for i in 0..3 {
+            assert_eq!(p.worker(i).id(), i);
+        }
+        assert_eq!(p.speeds(), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        assert!(matches!(
+            Platform::from_speeds(&[]),
+            Err(PlatformError::EmptyPlatform)
+        ));
+        assert!(Platform::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn invalid_worker_propagates() {
+        assert!(Platform::from_speeds(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn normalized_speeds_sum_to_one() {
+        let p = Platform::from_speeds(&[1.0, 2.0, 5.0]).unwrap();
+        let x = p.normalized_speeds();
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((x[2] - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_by_speed_is_nondecreasing_and_stable() {
+        let p = Platform::from_speeds(&[2.0, 1.0, 2.0, 0.5]).unwrap();
+        let order = p.sorted_by_speed();
+        assert_eq!(order, vec![3, 1, 0, 2]);
+        let mut prev = 0.0;
+        for &i in &order {
+            assert!(p.worker(i).speed() >= prev);
+            prev = p.worker(i).speed();
+        }
+    }
+
+    #[test]
+    fn min_max_and_ratio() {
+        let p = Platform::from_speeds(&[4.0, 1.0, 8.0]).unwrap();
+        assert_eq!(p.min_speed(), 1.0);
+        assert_eq!(p.max_speed(), 8.0);
+        assert_eq!(p.speed_ratio(), 8.0);
+    }
+
+    #[test]
+    fn homogeneous_constructor_and_test() {
+        let p = Platform::homogeneous(5, 2.0, 0.5).unwrap();
+        assert_eq!(p.len(), 5);
+        assert!(p.is_speed_homogeneous(1e-12));
+        assert_eq!(p.total_speed(), 10.0);
+        assert_eq!(p.inv_bandwidths(), vec![0.5; 5]);
+    }
+
+    #[test]
+    fn two_class_layout() {
+        let p = Platform::two_class(6, 1.0, 4.0).unwrap();
+        assert_eq!(p.speeds(), vec![1.0, 1.0, 1.0, 4.0, 4.0, 4.0]);
+        assert!(!p.is_speed_homogeneous(0.1));
+        assert_eq!(p.speed_ratio(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even worker count")]
+    fn two_class_requires_even_p() {
+        let _ = Platform::two_class(5, 1.0, 2.0);
+    }
+
+    #[test]
+    fn builder_collects_workers() {
+        let p = PlatformBuilder::new()
+            .worker(1.0, 1.0)
+            .workers(2, 3.0, 0.25)
+            .build()
+            .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.worker(1).speed(), 3.0);
+        assert_eq!(p.worker(2).inv_bandwidth(), 0.25);
+    }
+
+    #[test]
+    fn iterator_visits_all_workers() {
+        let p = Platform::from_speeds(&[1.0, 2.0]).unwrap();
+        let ids: Vec<usize> = (&p).into_iter().map(|w| w.id()).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(p.iter().count(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! A single worker of the star platform.
+
+use crate::error::PlatformError;
+
+/// One worker `Pi` of the master–worker star (Section 1.2 of the paper).
+///
+/// The two parameters follow the paper's notation:
+/// * [`speed`](Processor::speed) is `s_i = 1/w_i` — units of computation per
+///   unit of time;
+/// * [`inv_bandwidth`](Processor::inv_bandwidth) is `c_i` — time to receive
+///   one unit of data from the master (so the bandwidth is `1/c_i`).
+///
+/// `c_i = 0` models an infinitely fast link, which is occasionally useful to
+/// isolate computation effects in tests and ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Processor {
+    id: usize,
+    speed: f64,
+    inv_bandwidth: f64,
+}
+
+impl Processor {
+    /// Creates a worker, validating that `speed > 0` and `inv_bandwidth >= 0`
+    /// (both finite).
+    pub fn new(id: usize, speed: f64, inv_bandwidth: f64) -> Result<Self, PlatformError> {
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(PlatformError::InvalidSpeed {
+                index: id,
+                value: speed,
+            });
+        }
+        if !(inv_bandwidth.is_finite() && inv_bandwidth >= 0.0) {
+            return Err(PlatformError::InvalidBandwidth {
+                index: id,
+                value: inv_bandwidth,
+            });
+        }
+        Ok(Self {
+            id,
+            speed,
+            inv_bandwidth,
+        })
+    }
+
+    /// Identifier of this worker inside its platform (`0`-based; the master
+    /// is not represented).
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Processing speed `s_i` (units of work per unit of time).
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Time per unit of computation, `w_i = 1/s_i`.
+    #[inline]
+    pub fn w(&self) -> f64 {
+        1.0 / self.speed
+    }
+
+    /// Inverse bandwidth `c_i` (time per unit of data received).
+    #[inline]
+    pub fn inv_bandwidth(&self) -> f64 {
+        self.inv_bandwidth
+    }
+
+    /// Bandwidth `1/c_i`; `f64::INFINITY` when `c_i = 0`.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        if self.inv_bandwidth == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.inv_bandwidth
+        }
+    }
+
+    /// Time for this worker to execute `work` units of computation.
+    #[inline]
+    pub fn compute_time(&self, work: f64) -> f64 {
+        work / self.speed
+    }
+
+    /// Time for this worker to receive `data` units from the master.
+    #[inline]
+    pub fn comm_time(&self, data: f64) -> f64 {
+        self.inv_bandwidth * data
+    }
+
+    /// Returns a copy of this worker with a different id (used when
+    /// assembling platforms from per-worker descriptions).
+    pub(crate) fn with_id(mut self, id: usize) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_processor_roundtrips() {
+        let p = Processor::new(2, 4.0, 0.5).unwrap();
+        assert_eq!(p.id(), 2);
+        assert_eq!(p.speed(), 4.0);
+        assert_eq!(p.w(), 0.25);
+        assert_eq!(p.inv_bandwidth(), 0.5);
+        assert_eq!(p.bandwidth(), 2.0);
+    }
+
+    #[test]
+    fn compute_and_comm_times() {
+        let p = Processor::new(0, 2.0, 0.25).unwrap();
+        assert!((p.compute_time(10.0) - 5.0).abs() < 1e-12);
+        assert!((p.comm_time(8.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_inv_bandwidth_is_infinite_bandwidth() {
+        let p = Processor::new(0, 1.0, 0.0).unwrap();
+        assert!(p.bandwidth().is_infinite());
+        assert_eq!(p.comm_time(1e9), 0.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_speed() {
+        assert!(matches!(
+            Processor::new(1, 0.0, 1.0),
+            Err(PlatformError::InvalidSpeed { index: 1, .. })
+        ));
+        assert!(Processor::new(1, -3.0, 1.0).is_err());
+        assert!(Processor::new(1, f64::NAN, 1.0).is_err());
+        assert!(Processor::new(1, f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_bandwidth() {
+        assert!(matches!(
+            Processor::new(7, 1.0, -0.1),
+            Err(PlatformError::InvalidBandwidth { index: 7, .. })
+        ));
+        assert!(Processor::new(0, 1.0, f64::NAN).is_err());
+        assert!(Processor::new(0, 1.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Analytic cost model of the three sample-sort phases (Section 3.1).
+//!
+//! Costs are in abstract comparison units:
+//!
+//! * Step 1 (master): sort the sample — `s·p · log₂(s·p)`;
+//! * Step 2 (master): classify every key — `N · log₂ p`;
+//! * Step 3 (workers): sort bucket `i` on worker `i` —
+//!   `w_i · n_i · log₂ n_i`, in parallel, so the phase costs the maximum.
+//!
+//! The *non-divisible fraction* `(step1 + step2) / total` is the measurable
+//! counterpart of the paper's `log p / log N` claim.
+
+/// Cost-model evaluation of one sample-sort instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Master-side sample sort cost.
+    pub step1: f64,
+    /// Master-side classification cost.
+    pub step2: f64,
+    /// Parallel local-sort cost, `max_i w_i·n_i·log₂ n_i`.
+    pub step3: f64,
+    /// Hypothetical sequential sort cost `N log₂ N` (the work `W`).
+    pub sequential: f64,
+}
+
+fn nlog2n(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+impl CostModel {
+    /// Evaluates the model for `n` keys, oversampling `s`, bucket sizes
+    /// `bucket_sizes` and per-worker `w_i = 1/s_i` (pass `&[1.0; p]` for
+    /// homogeneous workers).
+    pub fn evaluate(n: usize, s: usize, bucket_sizes: &[usize], w: &[f64]) -> Self {
+        let p = bucket_sizes.len();
+        assert_eq!(p, w.len());
+        assert!(p > 0 && s > 0);
+        let sp = (s * p) as f64;
+        let step1 = nlog2n(sp);
+        let step2 = n as f64 * (p as f64).log2();
+        let step3 = bucket_sizes
+            .iter()
+            .zip(w)
+            .map(|(&ni, &wi)| wi * nlog2n(ni as f64))
+            .fold(0.0, f64::max);
+        CostModel {
+            step1,
+            step2,
+            step3,
+            sequential: nlog2n(n as f64),
+        }
+    }
+
+    /// Makespan of the parallel algorithm under the model (preprocessing is
+    /// sequential on the master, then the buckets run in parallel).
+    pub fn makespan(&self) -> f64 {
+        self.step1 + self.step2 + self.step3
+    }
+
+    /// Fraction of the makespan spent in the non-divisible preprocessing.
+    pub fn nondivisible_fraction(&self) -> f64 {
+        let m = self.makespan();
+        if m == 0.0 {
+            0.0
+        } else {
+            (self.step1 + self.step2) / m
+        }
+    }
+
+    /// Parallel speedup over the sequential sort predicted by the model.
+    pub fn speedup(&self) -> f64 {
+        let m = self.makespan();
+        if m == 0.0 {
+            1.0
+        } else {
+            self.sequential / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_homogeneous_instance() {
+        let n = 1 << 16;
+        let p = 16;
+        let s = 64;
+        let sizes = vec![n / p; p];
+        let w = vec![1.0; p];
+        let m = CostModel::evaluate(n, s, &sizes, &w);
+        // Step 2 = N log2 p = 65536·4.
+        assert!((m.step2 - 65536.0 * 4.0).abs() < 1e-9);
+        // Step 3 = (N/p) log2(N/p) = 4096·12.
+        assert!((m.step3 - 4096.0 * 12.0).abs() < 1e-9);
+        assert!(m.speedup() > 1.0);
+    }
+
+    #[test]
+    fn nondivisible_fraction_shrinks_with_n() {
+        let p = 64;
+        let frac = |n: usize| {
+            let sizes = vec![n / p; p];
+            CostModel::evaluate(n, 16, &sizes, &vec![1.0; p]).nondivisible_fraction()
+        };
+        assert!(frac(1 << 26) < frac(1 << 16));
+    }
+
+    #[test]
+    fn slow_worker_dominates_step3() {
+        let sizes = vec![100, 100];
+        let m = CostModel::evaluate(200, 4, &sizes, &[1.0, 10.0]);
+        assert!((m.step3 - 10.0 * nlog2n(100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        let m = CostModel::evaluate(1, 1, &[1], &[1.0]);
+        assert_eq!(m.step3, 0.0);
+        assert_eq!(m.sequential, 0.0);
+        assert_eq!(m.nondivisible_fraction(), 0.0);
+        let m0 = CostModel::evaluate(0, 1, &[0], &[1.0]);
+        assert_eq!(m0.speedup(), 1.0);
+    }
+
+    #[test]
+    fn speedup_approaches_p_for_large_n() {
+        // The makespan is dominated by Step 3 only once log N ≫ p·log p
+        // (the paper's asymptotic regime), so use a small p and a huge N.
+        let p = 4;
+        let n = 1usize << 52;
+        let sizes = vec![n / p; p];
+        let m = CostModel::evaluate(n, 900, &sizes, &vec![1.0; p]);
+        // Step2/W = log p / log N = 2/52: speedup ≥ ~0.85·p here.
+        assert!(m.speedup() > 0.75 * p as f64, "speedup {}", m.speedup());
+        assert!(m.speedup() <= p as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Step 1: sampling and splitter selection.
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+/// Draws `count` keys from `data` uniformly **without replacement**
+/// (clamped to `data.len()`), returning them unsorted.
+pub fn sample_keys<T: Clone, R: Rng + ?Sized>(data: &[T], count: usize, rng: &mut R) -> Vec<T> {
+    let count = count.min(data.len());
+    if count == 0 {
+        return Vec::new();
+    }
+    index_sample(rng, data.len(), count)
+        .into_iter()
+        .map(|i| data[i].clone())
+        .collect()
+}
+
+/// Homogeneous splitter selection (Section 3.1): from a **sorted** sample
+/// of `s·p` keys, keep the keys of 1-based ranks `s, 2s, …, (p−1)s`.
+///
+/// Returns `p−1` splitters. Panics when the sample is too small to hold
+/// rank `(p−1)s` — callers must sample `≥ s·p` keys (or pass the clamped
+/// sample through [`heterogeneous_splitters`] with equal speeds instead).
+pub fn homogeneous_splitters<T: Clone + Ord>(sorted_sample: &[T], p: usize, s: usize) -> Vec<T> {
+    assert!(p >= 1 && s >= 1);
+    debug_assert!(sorted_sample.windows(2).all(|w| w[0] <= w[1]));
+    assert!(
+        sorted_sample.len() > (p - 1) * s || p == 1,
+        "sample of {} keys cannot yield {} splitters with oversampling {}",
+        sorted_sample.len(),
+        p - 1,
+        s
+    );
+    (1..p).map(|i| sorted_sample[i * s - 1].clone()).collect()
+}
+
+/// Heterogeneous splitter selection (Section 3.2): splitter `i` sits at the
+/// sample rank proportional to the cumulative relative speed
+/// `Σ_{k≤i} s_k / Σ_k s_k`, so bucket `i` is expected to hold `N·x_i`
+/// keys. With equal speeds this reduces to [`homogeneous_splitters`].
+pub fn heterogeneous_splitters<T: Clone + Ord>(sorted_sample: &[T], speeds: &[f64]) -> Vec<T> {
+    let p = speeds.len();
+    assert!(p >= 1, "need at least one bucket");
+    assert!(
+        speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+        "speeds must be positive"
+    );
+    debug_assert!(sorted_sample.windows(2).all(|w| w[0] <= w[1]));
+    if p == 1 {
+        return Vec::new();
+    }
+    let m = sorted_sample.len();
+    assert!(m >= p, "sample must hold at least p keys");
+    let total: f64 = speeds.iter().sum();
+    let mut cum = 0.0;
+    let mut out = Vec::with_capacity(p - 1);
+    for &sp in &speeds[..p - 1] {
+        cum += sp;
+        // Rank in [1, m−1]; monotone in cum, so splitters are sorted.
+        let rank = ((cum / total) * m as f64).round() as usize;
+        let rank = rank.clamp(1, m - 1);
+        out.push(sorted_sample[rank - 1].clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sample_without_replacement_has_distinct_indices() {
+        let data: Vec<u64> = (0..100).collect();
+        let mut r = rng(1);
+        let mut s = sample_keys(&data, 50, &mut r);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 50); // distinct values ⇒ distinct indices
+    }
+
+    #[test]
+    fn oversized_request_clamps() {
+        let data = vec![1u64, 2, 3];
+        let mut r = rng(2);
+        let s = sample_keys(&data, 10, &mut r);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let data: Vec<u64> = vec![];
+        let mut r = rng(3);
+        assert!(sample_keys(&data, 5, &mut r).is_empty());
+        assert!(sample_keys(&[1u64], 0, &mut r).is_empty());
+    }
+
+    #[test]
+    fn homogeneous_ranks_follow_the_paper() {
+        // Sample 0..16 sorted, p = 4, s = 4 → ranks 4, 8, 12 → keys 3, 7, 11.
+        let sample: Vec<u64> = (0..16).collect();
+        let spl = homogeneous_splitters(&sample, 4, 4);
+        assert_eq!(spl, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn single_bucket_needs_no_splitters() {
+        let sample: Vec<u64> = (0..4).collect();
+        assert!(homogeneous_splitters(&sample, 1, 4).is_empty());
+        assert!(heterogeneous_splitters(&sample, &[2.0]).is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_equal_speeds_matches_homogeneous() {
+        let sample: Vec<u64> = (0..16).collect();
+        let hom = homogeneous_splitters(&sample, 4, 4);
+        let het = heterogeneous_splitters(&sample, &[1.0; 4]);
+        assert_eq!(hom, het);
+    }
+
+    #[test]
+    fn heterogeneous_ranks_proportional_to_speed() {
+        // Speeds 1:3 → splitter at 25% of the sample.
+        let sample: Vec<u64> = (0..100).collect();
+        let spl = heterogeneous_splitters(&sample, &[1.0, 3.0]);
+        assert_eq!(spl.len(), 1);
+        assert_eq!(spl[0], 24); // rank 25 → index 24
+    }
+
+    #[test]
+    fn splitters_are_sorted() {
+        let sample: Vec<u64> = (0..1000).collect();
+        let spl = heterogeneous_splitters(&sample, &[5.0, 1.0, 3.0, 0.5, 2.0]);
+        assert!(spl.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(spl.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot yield")]
+    fn undersized_sample_panics() {
+        let sample: Vec<u64> = (0..5).collect();
+        let _ = homogeneous_splitters(&sample, 4, 4);
+    }
+}

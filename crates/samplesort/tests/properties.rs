@@ -1,0 +1,56 @@
+//! Property-based tests: sample sort must sort any input, for any bucket
+//! count, oversampling ratio and speed profile.
+
+use dlt_samplesort::{sample_sort, SampleSortConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sorts_arbitrary_vectors(
+        mut data in proptest::collection::vec(any::<u64>(), 0..4000),
+        p in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let out = sample_sort(data.clone(), &SampleSortConfig::homogeneous(p, seed));
+        data.sort_unstable();
+        prop_assert_eq!(out.sorted, data);
+    }
+
+    #[test]
+    fn sorts_with_tiny_oversampling(
+        mut data in proptest::collection::vec(any::<u32>(), 0..2000),
+        p in 1usize..8,
+        s in 1usize..4,
+    ) {
+        let cfg = SampleSortConfig::homogeneous(p, 1).with_oversampling(s);
+        let out = sample_sort(data.clone(), &cfg);
+        data.sort_unstable();
+        let sorted32: Vec<u32> = out.sorted;
+        prop_assert_eq!(sorted32, data);
+    }
+
+    #[test]
+    fn heterogeneous_configs_sort_correctly(
+        mut data in proptest::collection::vec(any::<u64>(), 0..3000),
+        speeds in proptest::collection::vec(0.1f64..20.0, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let out = sample_sort(data.clone(), &SampleSortConfig::heterogeneous(speeds.clone(), seed));
+        data.sort_unstable();
+        prop_assert_eq!(out.sorted, data);
+        prop_assert_eq!(out.stats.len(), speeds.len());
+    }
+
+    #[test]
+    fn bucket_sizes_always_sum_to_n(
+        data in proptest::collection::vec(any::<u64>(), 0..2000),
+        p in 1usize..10,
+    ) {
+        let n = data.len();
+        let out = sample_sort(data, &SampleSortConfig::homogeneous(p, 3));
+        prop_assert_eq!(out.stats.total(), n);
+        prop_assert_eq!(out.stats.len(), p);
+    }
+}

@@ -1,0 +1,272 @@
+//! Demand-driven execution: the "MapReduce-style" dynamic load balancing
+//! of Section 4.
+//!
+//! The computation domain is cut into equal tasks ahead of time; whenever a
+//! worker becomes free it grabs the next task from the master's queue. The
+//! paper's `Commhom` and `Commhom/k` strategies are built on this executor:
+//! faster processors naturally grab more blocks, and the *load imbalance*
+//! `e = (tmax − tmin)/tmin` of the resulting run decides whether the block
+//! size must be refined.
+
+use dlt_platform::Platform;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One task of the demand queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandTask {
+    /// Data units the master ships to whichever worker takes the task.
+    pub data: f64,
+    /// Work units the worker must execute.
+    pub work: f64,
+}
+
+impl DemandTask {
+    /// Convenience constructor.
+    pub fn new(data: f64, work: f64) -> Self {
+        Self { data, work }
+    }
+}
+
+/// Order in which queued tasks are handed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DemandPolicy {
+    /// Tasks are served in queue order (the default; what Hadoop's input
+    /// splits give you).
+    #[default]
+    Fifo,
+    /// Largest remaining work first — the classical LPT heuristic, kept as
+    /// an ablation knob.
+    LargestFirst,
+}
+
+/// Configuration of the demand-driven executor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DemandConfig {
+    /// Dispatch order.
+    pub policy: DemandPolicy,
+    /// When true, the time a worker occupies per task includes the transfer
+    /// `c_i · data`; when false (the paper's accounting) only computation
+    /// counts toward finish times and the transfer is tracked as volume
+    /// only.
+    pub include_comm: bool,
+}
+
+/// Outcome of a demand-driven run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandReport {
+    /// For each worker, the indices (into the input task slice) it executed,
+    /// in execution order.
+    pub assignments: Vec<Vec<usize>>,
+    /// Instant each worker became idle for good (0 for workers that never
+    /// received a task).
+    pub finish_times: Vec<f64>,
+    /// Data units shipped to each worker (no reuse: every task's data is
+    /// counted, matching the paper's redundancy accounting).
+    pub comm_volume: Vec<f64>,
+}
+
+impl DemandReport {
+    /// Largest finish time.
+    pub fn tmax(&self) -> f64 {
+        self.finish_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest finish time (including idle workers, as in the paper's
+    /// definition over "the platform").
+    pub fn tmin(&self) -> f64 {
+        self.finish_times
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Load imbalance `e = (tmax − tmin)/tmin`; infinite when some worker
+    /// never computed anything.
+    pub fn imbalance(&self) -> f64 {
+        crate::metrics::imbalance(&self.finish_times)
+    }
+
+    /// Total communication volume `Σ_i comm_volume[i]`.
+    pub fn total_comm(&self) -> f64 {
+        self.comm_volume.iter().sum()
+    }
+
+    /// Number of tasks each worker executed.
+    pub fn task_counts(&self) -> Vec<usize> {
+        self.assignments.iter().map(Vec::len).collect()
+    }
+}
+
+/// Runs the demand-driven executor.
+///
+/// Workers start free at time 0. At every step the earliest-free worker
+/// (ties broken by id, so runs are deterministic) takes the next task and
+/// holds it for `work/s_i` time units (plus `c_i · data` when
+/// `config.include_comm` is set).
+pub fn simulate_demand(
+    platform: &Platform,
+    tasks: &[DemandTask],
+    config: DemandConfig,
+) -> DemandReport {
+    let p = platform.len();
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    if config.policy == DemandPolicy::LargestFirst {
+        order.sort_by(|&a, &b| {
+            tasks[b]
+                .work
+                .partial_cmp(&tasks[a].work)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+    }
+
+    // Min-heap of (free_time, worker id).
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..p).map(|w| Reverse((OrdF64(0.0), w))).collect();
+    let mut assignments = vec![Vec::new(); p];
+    let mut finish = vec![0.0f64; p];
+    let mut volume = vec![0.0f64; p];
+
+    for idx in order {
+        let task = tasks[idx];
+        debug_assert!(task.data >= 0.0 && task.work >= 0.0);
+        let Reverse((OrdF64(free), w)) = heap.pop().expect("heap holds every worker");
+        let worker = platform.worker(w);
+        let mut busy = worker.compute_time(task.work);
+        if config.include_comm {
+            busy += worker.comm_time(task.data);
+        }
+        let done = free + busy;
+        assignments[w].push(idx);
+        finish[w] = done;
+        volume[w] += task.data;
+        heap.push(Reverse((OrdF64(done), w)));
+    }
+
+    DemandReport {
+        assignments,
+        finish_times: finish,
+        comm_volume: volume,
+    }
+}
+
+/// Total order on finite f64 for the scheduler heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tasks(n: usize, data: f64, work: f64) -> Vec<DemandTask> {
+        vec![DemandTask::new(data, work); n]
+    }
+
+    #[test]
+    fn homogeneous_platform_splits_evenly() {
+        let platform = Platform::homogeneous(4, 1.0, 1.0).unwrap();
+        let tasks = uniform_tasks(8, 1.0, 1.0);
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(r.task_counts(), vec![2, 2, 2, 2]);
+        assert!(r.imbalance() < 1e-12);
+        assert_eq!(r.total_comm(), 8.0);
+    }
+
+    #[test]
+    fn fast_worker_gets_proportionally_more() {
+        // Speeds 1 and 3: out of 8 unit tasks, expect ~2 vs ~6.
+        let platform = Platform::from_speeds(&[1.0, 3.0]).unwrap();
+        let tasks = uniform_tasks(8, 1.0, 1.0);
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(r.task_counts().iter().sum::<usize>(), 8);
+        assert!(r.task_counts()[1] > r.task_counts()[0]);
+        assert!(r.task_counts()[1] >= 5, "counts {:?}", r.task_counts());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let platform = Platform::homogeneous(3, 1.0, 1.0).unwrap();
+        let tasks = uniform_tasks(5, 1.0, 1.0);
+        let a = simulate_demand(&platform, &tasks, DemandConfig::default());
+        let b = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(a, b);
+        // First three tasks go to workers 0, 1, 2 in order.
+        assert_eq!(a.assignments[0][0], 0);
+        assert_eq!(a.assignments[1][0], 1);
+        assert_eq!(a.assignments[2][0], 2);
+    }
+
+    #[test]
+    fn idle_worker_makes_imbalance_infinite() {
+        let platform = Platform::homogeneous(3, 1.0, 1.0).unwrap();
+        let tasks = uniform_tasks(2, 1.0, 1.0);
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(r.tmin(), 0.0);
+        assert!(r.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn include_comm_lengthens_occupancy() {
+        let platform = Platform::from_speeds_and_costs(&[1.0], &[2.0]).unwrap();
+        let tasks = uniform_tasks(1, 3.0, 4.0);
+        let without = simulate_demand(&platform, &tasks, DemandConfig::default());
+        let with = simulate_demand(
+            &platform,
+            &tasks,
+            DemandConfig {
+                include_comm: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(without.tmax(), 4.0);
+        assert_eq!(with.tmax(), 4.0 + 6.0);
+    }
+
+    #[test]
+    fn largest_first_reduces_imbalance_on_skewed_tasks() {
+        let platform = Platform::homogeneous(2, 1.0, 1.0).unwrap();
+        // One huge task plus several small ones: FIFO may finish unevenly.
+        let mut tasks = vec![DemandTask::new(1.0, 1.0); 6];
+        tasks.push(DemandTask::new(1.0, 6.0));
+        let fifo = simulate_demand(&platform, &tasks, DemandConfig::default());
+        let lpt = simulate_demand(
+            &platform,
+            &tasks,
+            DemandConfig {
+                policy: DemandPolicy::LargestFirst,
+                ..Default::default()
+            },
+        );
+        assert!(lpt.tmax() <= fifo.tmax() + 1e-12);
+        assert_eq!(lpt.tmax(), 6.0); // big task alone on one worker
+    }
+
+    #[test]
+    fn comm_volume_counts_every_assignment() {
+        let platform = Platform::from_speeds(&[1.0, 1.0]).unwrap();
+        let tasks = uniform_tasks(4, 2.5, 1.0);
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(r.total_comm(), 10.0);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let platform = Platform::homogeneous(2, 1.0, 1.0).unwrap();
+        let r = simulate_demand(&platform, &[], DemandConfig::default());
+        assert_eq!(r.task_counts(), vec![0, 0]);
+        assert_eq!(r.tmax(), 0.0);
+    }
+}

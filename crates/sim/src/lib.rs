@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # dlt-sim
+//!
+//! Discrete-event simulation substrate for master–worker star platforms.
+//!
+//! The paper's statements are about *schedules*: which worker receives how
+//! much data, in which order, and when everyone finishes. This crate
+//! executes such schedules against a [`dlt_platform::Platform`] under the
+//! two communication models of the DLT literature:
+//!
+//! * [`CommMode::Parallel`] — the paper's model (Section 1.2): the master
+//!   serves all workers simultaneously, each transfer limited only by the
+//!   worker's incoming bandwidth `1/c_i`;
+//! * [`CommMode::OnePort`] — the classical model where the master sends to
+//!   one worker at a time, in a specified order.
+//!
+//! Three entry points:
+//!
+//! * [`star::simulate`] — executes an explicit (multi-round) divisible-load
+//!   schedule and returns per-worker timelines plus the makespan;
+//! * [`demand::simulate_demand`] — the demand-driven ("MapReduce-style")
+//!   executor used by the `Commhom` strategies of Section 4: free workers
+//!   repeatedly grab the next task from a queue;
+//! * [`gantt`] — ASCII Gantt rendering of any simulation trace (used to
+//!   regenerate the paper's illustrative Figures 1 and 3).
+//!
+//! All simulated times are `f64` seconds in the paper's abstract units
+//! (`c_i` per data unit, `w_i` per work unit).
+
+pub mod demand;
+pub mod gantt;
+pub mod metrics;
+pub mod schedule;
+pub mod star;
+
+pub use demand::{simulate_demand, DemandConfig, DemandPolicy, DemandReport, DemandTask};
+pub use gantt::{ascii_gantt, TraceEvent, TraceKind};
+pub use metrics::{imbalance, utilization};
+pub use schedule::{ChunkAssignment, CommMode, Round, Schedule};
+pub use star::{simulate, SimReport, WorkerTimeline};

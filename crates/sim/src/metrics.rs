@@ -1,0 +1,80 @@
+//! Schedule quality metrics.
+
+/// Load imbalance `e = (tmax − tmin)/tmin` over a set of finish times
+/// (Section 4.3 of the paper).
+///
+/// Returns `0` for an empty slice and `+∞` when the smallest finish time is
+/// zero (some worker never computed anything) — an infinite imbalance
+/// correctly forces the `Commhom/k` refinement loop to keep splitting.
+pub fn imbalance(finish_times: &[f64]) -> f64 {
+    if finish_times.is_empty() {
+        return 0.0;
+    }
+    let tmax = finish_times.iter().copied().fold(0.0, f64::max);
+    let tmin = finish_times.iter().copied().fold(f64::INFINITY, f64::min);
+    if tmin <= 0.0 {
+        if tmax <= 0.0 {
+            0.0 // nobody did anything: trivially balanced
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (tmax - tmin) / tmin
+    }
+}
+
+/// Mean utilization: `Σ busy_i / (p · makespan)`; 1.0 means every worker
+/// computed from 0 to the makespan.
+pub fn utilization(busy_times: &[f64], makespan: f64) -> f64 {
+    if busy_times.is_empty() || makespan <= 0.0 {
+        return 0.0;
+    }
+    busy_times.iter().sum::<f64>() / (busy_times.len() as f64 * makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_is_zero() {
+        assert_eq!(imbalance(&[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn known_imbalance() {
+        // tmax = 3, tmin = 2 → e = 0.5.
+        assert!((imbalance(&[3.0, 2.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_worker_is_infinite() {
+        assert!(imbalance(&[0.0, 5.0]).is_infinite());
+    }
+
+    #[test]
+    fn all_idle_is_zero() {
+        assert_eq!(imbalance(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(imbalance(&[]), 0.0);
+    }
+
+    #[test]
+    fn utilization_full() {
+        assert!((utilization(&[4.0, 4.0], 4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_half() {
+        assert!((utilization(&[4.0, 0.0], 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_degenerate() {
+        assert_eq!(utilization(&[], 4.0), 0.0);
+        assert_eq!(utilization(&[1.0], 0.0), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Schedule descriptions consumed by the star simulator.
+
+/// How the master's outgoing link is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    /// All transfers proceed simultaneously; each is limited only by the
+    /// receiving worker's bandwidth (the paper's model, Section 1.2).
+    Parallel,
+    /// The master sends to a single worker at a time; transfers within a
+    /// round happen in the order the assignments are listed.
+    OnePort,
+}
+
+/// One chunk handed to one worker: the transfer occupies the link for
+/// `overhead + c_i · data` (affine communication cost), then `work` units
+/// are computed (taking `w_i · work`).
+///
+/// Keeping `data` and `work` separate is what lets the same simulator
+/// execute linear loads (`work = data`), the paper's non-linear loads
+/// (`work = data^α`) and sorting (`work = data·log data`). The `overhead`
+/// term (zero in the paper's model) enables the classical affine-cost DLT
+/// studies where the number of installments has an interior optimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkAssignment {
+    /// Receiving worker id.
+    pub worker: usize,
+    /// Data units sent by the master.
+    pub data: f64,
+    /// Work units executed by the worker once the chunk has fully arrived.
+    pub work: f64,
+    /// Fixed per-message latency added to the transfer time.
+    pub overhead: f64,
+}
+
+impl ChunkAssignment {
+    /// Chunk with no per-message overhead (the paper's linear-cost model).
+    pub fn new(worker: usize, data: f64, work: f64) -> Self {
+        Self {
+            worker,
+            data,
+            work,
+            overhead: 0.0,
+        }
+    }
+
+    /// A linear-load chunk (`work = data`).
+    pub fn linear(worker: usize, data: f64) -> Self {
+        Self::new(worker, data, data)
+    }
+
+    /// Adds a fixed per-message latency to the transfer.
+    pub fn with_overhead(mut self, overhead: f64) -> Self {
+        debug_assert!(overhead >= 0.0);
+        self.overhead = overhead;
+        self
+    }
+}
+
+/// One communication round: a list of chunk assignments. Under
+/// [`CommMode::OnePort`] the master serves them in list order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Round {
+    /// The chunks distributed during this round.
+    pub assignments: Vec<ChunkAssignment>,
+}
+
+impl Round {
+    /// Round from a list of assignments.
+    pub fn new(assignments: Vec<ChunkAssignment>) -> Self {
+        Self { assignments }
+    }
+
+    /// Total data moved in this round.
+    pub fn total_data(&self) -> f64 {
+        self.assignments.iter().map(|a| a.data).sum()
+    }
+
+    /// Total work contained in this round.
+    pub fn total_work(&self) -> f64 {
+        self.assignments.iter().map(|a| a.work).sum()
+    }
+}
+
+/// A complete divisible-load schedule: one or more rounds plus the
+/// communication model to execute them under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Successive communication rounds ("installments").
+    pub rounds: Vec<Round>,
+    /// Master link model.
+    pub comm_mode: CommMode,
+}
+
+impl Schedule {
+    /// Single-round schedule (a *single installment* in DLT terms).
+    pub fn single_round(assignments: Vec<ChunkAssignment>, comm_mode: CommMode) -> Self {
+        Self {
+            rounds: vec![Round::new(assignments)],
+            comm_mode,
+        }
+    }
+
+    /// Multi-round schedule.
+    pub fn multi_round(rounds: Vec<Round>, comm_mode: CommMode) -> Self {
+        Self { rounds, comm_mode }
+    }
+
+    /// Total data sent across all rounds.
+    pub fn total_data(&self) -> f64 {
+        self.rounds.iter().map(Round::total_data).sum()
+    }
+
+    /// Total work across all rounds.
+    pub fn total_work(&self) -> f64 {
+        self.rounds.iter().map(Round::total_work).sum()
+    }
+
+    /// Largest worker id referenced by the schedule, or `None` when empty.
+    pub fn max_worker(&self) -> Option<usize> {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.assignments.iter())
+            .map(|a| a.worker)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chunk_has_equal_data_and_work() {
+        let c = ChunkAssignment::linear(3, 2.5);
+        assert_eq!(c.worker, 3);
+        assert_eq!(c.data, 2.5);
+        assert_eq!(c.work, 2.5);
+    }
+
+    #[test]
+    fn round_totals() {
+        let r = Round::new(vec![
+            ChunkAssignment::new(0, 1.0, 2.0),
+            ChunkAssignment::new(1, 3.0, 4.0),
+        ]);
+        assert_eq!(r.total_data(), 4.0);
+        assert_eq!(r.total_work(), 6.0);
+    }
+
+    #[test]
+    fn schedule_totals_and_max_worker() {
+        let s = Schedule::multi_round(
+            vec![
+                Round::new(vec![ChunkAssignment::linear(0, 1.0)]),
+                Round::new(vec![ChunkAssignment::linear(5, 2.0)]),
+            ],
+            CommMode::Parallel,
+        );
+        assert_eq!(s.total_data(), 3.0);
+        assert_eq!(s.total_work(), 3.0);
+        assert_eq!(s.max_worker(), Some(5));
+    }
+
+    #[test]
+    fn empty_schedule_has_no_max_worker() {
+        let s = Schedule::multi_round(vec![], CommMode::OnePort);
+        assert_eq!(s.max_worker(), None);
+        assert_eq!(s.total_data(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the discrete-event simulator.
+
+use dlt_platform::Platform;
+use dlt_sim::{
+    simulate, simulate_demand, ChunkAssignment, CommMode, DemandConfig, DemandTask, Round, Schedule,
+};
+use proptest::prelude::*;
+
+fn platform_and_schedule() -> impl Strategy<Value = (Platform, Schedule)> {
+    let speeds = proptest::collection::vec(0.1f64..20.0, 1..8);
+    (speeds, 1usize..4, any::<bool>()).prop_flat_map(|(speeds, n_rounds, one_port)| {
+        let p = speeds.len();
+        let chunk = (0usize..p, 0.0f64..50.0, 0.0f64..50.0, 0.0f64..2.0)
+            .prop_map(|(w, d, work, oh)| ChunkAssignment::new(w, d, work).with_overhead(oh));
+        let round = proptest::collection::vec(chunk, 0..6).prop_map(Round::new);
+        let rounds = proptest::collection::vec(round, n_rounds..=n_rounds);
+        let platform = Platform::from_speeds(&speeds).unwrap();
+        rounds.prop_map(move |rs| {
+            let mode = if one_port {
+                CommMode::OnePort
+            } else {
+                CommMode::Parallel
+            };
+            (platform.clone(), Schedule::multi_round(rs, mode))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn makespan_is_max_finish_time((platform, schedule) in platform_and_schedule()) {
+        let r = simulate(&platform, &schedule);
+        let max_finish = r.finish_times().into_iter().fold(0.0, f64::max);
+        prop_assert!((r.makespan - max_finish).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intervals_are_well_formed((platform, schedule) in platform_and_schedule()) {
+        let r = simulate(&platform, &schedule);
+        for tl in &r.timelines {
+            for &(_, s, e) in tl.recvs.iter().chain(&tl.computes) {
+                prop_assert!(e >= s && s >= 0.0);
+            }
+            // Chunks on one worker are received in order, computed in order.
+            for w in tl.recvs.windows(2) {
+                prop_assert!(w[1].1 >= w[0].2 - 1e-9);
+            }
+            for w in tl.computes.windows(2) {
+                prop_assert!(w[1].1 >= w[0].2 - 1e-9);
+            }
+            // Computation never precedes its reception.
+            for (r_ev, c_ev) in tl.recvs.iter().zip(&tl.computes) {
+                prop_assert!(c_ev.1 >= r_ev.2 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn one_port_master_sends_are_disjoint((platform, schedule) in platform_and_schedule()) {
+        prop_assume!(schedule.comm_mode == CommMode::OnePort);
+        let r = simulate(&platform, &schedule);
+        let mut sends: Vec<(f64, f64)> = r
+            .timelines
+            .iter()
+            .flat_map(|tl| tl.recvs.iter().map(|&(_, s, e)| (s, e)))
+            .collect();
+        sends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in sends.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-9, "master overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn parallel_never_slower_than_one_port((platform, schedule) in platform_and_schedule()) {
+        let par = Schedule { comm_mode: CommMode::Parallel, ..schedule.clone() };
+        let op = Schedule { comm_mode: CommMode::OnePort, ..schedule };
+        let r_par = simulate(&platform, &par);
+        let r_op = simulate(&platform, &op);
+        prop_assert!(r_par.makespan <= r_op.makespan + 1e-9);
+    }
+
+    #[test]
+    fn demand_executes_every_task(
+        speeds in proptest::collection::vec(0.1f64..20.0, 1..8),
+        works in proptest::collection::vec(0.01f64..10.0, 0..40),
+    ) {
+        let platform = Platform::from_speeds(&speeds).unwrap();
+        let tasks: Vec<DemandTask> =
+            works.iter().map(|&w| DemandTask::new(1.0, w)).collect();
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        let executed: usize = r.task_counts().iter().sum();
+        prop_assert_eq!(executed, tasks.len());
+        // Each worker's finish time equals the sum of its tasks' times.
+        for (w, assigned) in r.assignments.iter().enumerate() {
+            let expect: f64 = assigned
+                .iter()
+                .map(|&t| tasks[t].work / platform.worker(w).speed())
+                .sum();
+            prop_assert!((r.finish_times[w] - expect).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Classical linear DLT scheduling gallery: single-round parallel vs
+//! one-port (with its optimal bandwidth ordering) vs multi-installment,
+//! rendered as Gantt charts on the discrete-event simulator.
+//!
+//! ```text
+//! cargo run --release --example dlt_schedules
+//! ```
+
+use nonlinear_dlt::dlt::linear;
+use nonlinear_dlt::platform::Platform;
+use nonlinear_dlt::sim::{ascii_gantt, simulate};
+
+fn main() {
+    // Heterogeneous star: increasing speeds, varying bandwidths.
+    let platform = Platform::from_speeds_and_costs(&[1.0, 2.0, 4.0], &[0.8, 0.4, 0.6]).unwrap();
+    let load = 120.0;
+    println!(
+        "linear divisible load W = {load} on speeds {:?}, inv-bandwidths {:?}\n",
+        platform.speeds(),
+        platform.inv_bandwidths()
+    );
+
+    // --- Parallel communications (the paper's model) ------------------------
+    let par = linear::single_round_parallel(&platform, load);
+    let report = simulate(&platform, &par.to_schedule());
+    println!(
+        "single round, parallel comms: makespan {:.3}, chunks {:?}",
+        par.makespan, par.chunks
+    );
+    println!("{}", ascii_gantt(&report.to_trace(), 68));
+
+    // --- One-port, optimal ordering -----------------------------------------
+    let op = linear::single_round_one_port(&platform, load, None).unwrap();
+    let report = simulate(&platform, &op.to_schedule());
+    println!(
+        "single round, one-port (order {:?} by bandwidth): makespan {:.3}",
+        op.order, op.makespan
+    );
+    println!("{}", ascii_gantt(&report.to_trace(), 68));
+
+    // --- One-port, a deliberately bad ordering -------------------------------
+    let mut bad_order = linear::optimal_one_port_order(&platform);
+    bad_order.reverse();
+    let bad = linear::single_round_one_port(&platform, load, Some(bad_order)).unwrap();
+    println!(
+        "one-port with reversed order: makespan {:.3} ({:+.1}% vs optimal)\n",
+        bad.makespan,
+        100.0 * (bad.makespan - op.makespan) / op.makespan
+    );
+
+    // --- Multi-installment ----------------------------------------------------
+    println!("multi-installment (parallel comms), pipelining hides latency:");
+    for rounds in [1usize, 2, 4, 8, 16] {
+        let makespan = linear::multi_round_makespan(&platform, load, rounds).unwrap();
+        println!("  {rounds:2} rounds → makespan {makespan:8.3}");
+    }
+    let schedule = linear::uniform_multi_round(&platform, load, 4).unwrap();
+    let report = simulate(&platform, &schedule);
+    println!("\n4-round schedule:");
+    println!("{}", ascii_gantt(&report.to_trace(), 68));
+}

@@ -1,0 +1,80 @@
+//! Matrix multiplication on heterogeneity-aware partitions (Section 4.2):
+//! counts SUMMA communication volumes for the block-cyclic baseline vs the
+//! PERI-SUM distribution, and executes both with real threads against the
+//! reference GEMM.
+//!
+//! ```text
+//! cargo run --release --example matmul
+//! ```
+
+use nonlinear_dlt::linalg::{gemm_naive, gemm_parallel, Matrix};
+use nonlinear_dlt::outer::{
+    block_cyclic_rects, comm_lower_bound, execute_partitioned_matmul, het_rects, summa_comm_volume,
+};
+use nonlinear_dlt::platform::rng::seeded;
+use nonlinear_dlt::platform::{Platform, PlatformSpec, SpeedDistribution};
+
+fn main() {
+    let n = 192;
+    let mut rng = seeded(3);
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+
+    // --- Baseline kernels ----------------------------------------------------
+    let reference = gemm_naive(&a, &b);
+    let par = gemm_parallel(&a, &b, 4);
+    println!(
+        "dense GEMM {n}×{n}: parallel kernel max error {:.2e}\n",
+        par.max_abs_diff(&reference)
+    );
+
+    // --- Homogeneous platform: block-cyclic grid is fine ----------------------
+    let hom_platform = Platform::homogeneous(16, 1.0, 1.0).unwrap();
+    let grid = block_cyclic_rects(n, 4);
+    let grid_sim = summa_comm_volume(n, &grid);
+    let lb_hom = n as f64 * comm_lower_bound(&hom_platform, n); // per-step LB × N steps
+    println!(
+        "homogeneous p=16: block-cyclic SUMMA volume {:.2e} ({:.3}× the N·LB bound)",
+        grid_sim.total,
+        grid_sim.total / lb_hom
+    );
+    let (_, err) = execute_partitioned_matmul(&a, &b, &grid);
+    println!("  executed on the 4×4 grid: max error {err:.2e}\n");
+
+    // --- Heterogeneous platform: PERI-SUM rectangles --------------------------
+    let het_platform = PlatformSpec::new(16, SpeedDistribution::paper_uniform())
+        .generate(11)
+        .unwrap();
+    let het = het_rects(&het_platform, n);
+    let het_sim = summa_comm_volume(n, &het.rects);
+    let lb_het = n as f64 * comm_lower_bound(&het_platform, n);
+    println!(
+        "heterogeneous p=16 (uniform speeds): Commhet SUMMA volume {:.2e} ({:.3}× N·LB)",
+        het_sim.total,
+        het_sim.total / lb_het
+    );
+    // What the naive grid would pay on this platform, with demand-driven
+    // imbalance ignored (volume only):
+    println!(
+        "  block-cyclic on the same platform: {:.2e} ({:.3}× N·LB) — but with ~{:.0}% load imbalance",
+        grid_sim.total,
+        grid_sim.total / lb_het,
+        100.0 * grid_imbalance(&het_platform, &grid, n)
+    );
+    let (_, err) = execute_partitioned_matmul(&a, &b, &het.rects);
+    println!("  executed on the PERI-SUM partition: max error {err:.2e}");
+    assert!(err < 1e-9);
+    println!("\n→ same numerics, near-optimal communication, and load balance that");
+    println!("  matches processor speeds (Section 4.2's point).");
+}
+
+/// Load imbalance of a *static* uniform grid on a heterogeneous platform:
+/// compute time of worker i is area_i · w_i.
+fn grid_imbalance(platform: &Platform, rects: &[nonlinear_dlt::outer::IntRect], _n: usize) -> f64 {
+    let finish: Vec<f64> = rects
+        .iter()
+        .zip(platform.iter())
+        .map(|(r, w)| r.area() as f64 * w.w())
+        .collect();
+    nonlinear_dlt::sim::imbalance(&finish)
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the paper's story on one small platform.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. Schedule a *linear* divisible load — the classical DLT closed form.
+//! 2. Schedule a *quadratic* load the same way and watch the work fraction
+//!    collapse (Section 2's no-free-lunch).
+//! 3. Distribute the quadratic workload's *domain* instead, with the three
+//!    strategies of Section 4, and compare communication volumes.
+
+use nonlinear_dlt::dlt::{analysis, linear, nonlinear};
+use nonlinear_dlt::outer::{comm_lower_bound, evaluate, Strategy};
+use nonlinear_dlt::platform::Platform;
+use nonlinear_dlt::sim::simulate;
+
+fn main() {
+    // A small heterogeneous star: speeds 1/2/4/8, inverse bandwidths 1.
+    let platform = Platform::from_speeds(&[1.0, 2.0, 4.0, 8.0]).unwrap();
+    println!("platform: speeds {:?}\n", platform.speeds());
+
+    // --- 1. Linear divisible load -----------------------------------------
+    let load = 1200.0;
+    let alloc = linear::single_round_parallel(&platform, load);
+    println!("linear load W = {load}:");
+    for (i, chunk) in alloc.chunks.iter().enumerate() {
+        println!("  worker {i} receives {chunk:8.2} data units");
+    }
+    let sim_report = simulate(&platform, &alloc.to_schedule());
+    println!(
+        "  makespan {:.3} (closed form) / {:.3} (simulated) — all workers finish together\n",
+        alloc.makespan, sim_report.makespan
+    );
+
+    // --- 2. The same, for a quadratic workload ----------------------------
+    let n = 1200.0;
+    let quad = nonlinear::equal_finish_parallel(&platform, n, 2.0).unwrap();
+    println!("quadratic load, N = {n} data (W = N²):");
+    println!(
+        "  optimal single round does only {:.2}% of the work",
+        100.0 * quad.work_fraction_done()
+    );
+    for p in [4usize, 16, 64, 256] {
+        println!(
+            "  on {p:3} homogeneous workers the round leaves {:.2}% undone",
+            100.0 * analysis::remaining_fraction_homogeneous(p, 2.0)
+        );
+    }
+    println!("  → non-linear loads are not divisible (Section 2).\n");
+
+    // --- 3. Distribute the domain instead ---------------------------------
+    let domain = 1200;
+    println!("outer-product domain {domain}×{domain}, strategies of Section 4:");
+    let lb = comm_lower_bound(&platform, domain);
+    println!("  lower bound LBComm = {lb:.0} data units");
+    for strategy in Strategy::paper_strategies() {
+        let r = evaluate(&platform, domain, strategy);
+        println!(
+            "  {:12} volume {:10.0}  ({:5.2}× LB)  imbalance {:6.4}  chunks {:4}  k={}",
+            r.strategy.name(),
+            r.comm_volume,
+            r.ratio_to_lb,
+            r.imbalance,
+            r.n_chunks,
+            r.k
+        );
+    }
+    println!("\n→ heterogeneity-aware rectangles (Commhet) pay near the bound;");
+    println!("  demand-driven homogeneous blocks replicate data heavily.");
+}
