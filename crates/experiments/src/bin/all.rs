@@ -1,10 +1,13 @@
 //! Runs every experiment with paper-scale parameters and writes all CSVs
 //! under `results/` — the one-shot reproduction driver.
 //!
-//! `cargo run --release -p dlt-experiments --bin all -- [--quick]`
+//! `cargo run --release -p dlt-experiments --bin all -- [--quick|--smoke]`
 //!
 //! `--quick` trims trial counts (useful in CI); without it the Figure 4
-//! sweep runs the paper's full 100 trials per point.
+//! sweep runs the paper's full 100 trials per point. `--smoke` shrinks
+//! every dimension (trials, N, p sweeps) to the minimum that still
+//! exercises each runner end to end — it is what the harness smoke test
+//! drives, and finishes in seconds even in debug builds.
 
 use dlt_experiments::affinity::run_affinity;
 use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
@@ -19,12 +22,22 @@ use dlt_platform::SpeedDistribution;
 
 fn main() {
     let flags = parse_flags(std::env::args().skip(1));
-    let quick = flags.contains_key("quick");
+    let smoke = flags.contains_key("smoke");
+    let quick = smoke || flags.contains_key("quick");
     let seed = 42u64;
-    let (fig4_trials, sort_trials, part_trials) = if quick {
+    let (fig4_trials, sort_trials, part_trials) = if smoke {
+        (1, 1, 1)
+    } else if quick {
         (10, 2, 10)
     } else {
         (PAPER_TRIALS, 5, 50)
+    };
+    let fig4_ps: &[usize] = if smoke { &[10, 20] } else { &PAPER_P_VALUES };
+    let fig4_n = if smoke { 1_000 } else { 10_000 };
+    let part_ps: &[usize] = if smoke {
+        &[2, 8, 32]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512]
     };
 
     println!("== Section 2: no free lunch ==");
@@ -37,14 +50,17 @@ fn main() {
     write_and_print(&t, "sec2_no_free_lunch");
 
     println!("== Section 3.1: sample sort ==");
-    let ns: &[usize] = if quick {
+    let ns: &[usize] = if smoke {
+        &[1 << 12]
+    } else if quick {
         &[1 << 14, 1 << 16]
     } else {
         &[1 << 14, 1 << 16, 1 << 18, 1 << 20]
     };
     let t = run_sample_sort(ns, &[4, 16, 64], sort_trials, seed);
     write_and_print(&t, "sec3_sample_sort");
-    let t = dlt_experiments::sec3::run_distribution_robustness(1 << 18, 16, sort_trials, seed);
+    let robustness_n = if smoke { 1 << 12 } else { 1 << 18 };
+    let t = dlt_experiments::sec3::run_distribution_robustness(robustness_n, 16, sort_trials, seed);
     write_and_print(&t, "sec3_distribution_robustness");
 
     println!("== Section 3.2: heterogeneous sample sort ==");
@@ -52,7 +68,8 @@ fn main() {
         SpeedDistribution::paper_uniform(),
         SpeedDistribution::paper_lognormal(),
     ] {
-        let t = run_hetero_sort(1 << 18, &[4, 8, 16, 32], &profile, sort_trials, seed);
+        let hetero_n = if smoke { 1 << 12 } else { 1 << 18 };
+        let t = run_hetero_sort(hetero_n, &[4, 8, 16, 32], &profile, sort_trials, seed);
         write_and_print(&t, &format!("sec3_hetero_sort_{}", profile.name()));
     }
 
@@ -70,27 +87,23 @@ fn main() {
 
     println!("== Figure 4 (a)(b)(c) ==");
     for profile in SpeedDistribution::paper_profiles() {
-        let pts = run_fig4(&profile, &PAPER_P_VALUES, fig4_trials, 10_000, seed);
+        let pts = run_fig4(&profile, fig4_ps, fig4_trials, fig4_n, seed);
         let t = fig4_table(profile.name(), &pts);
         write_and_print(&t, &format!("fig4_{}", profile.name()));
     }
 
     println!("== Section 4.1.3: rho table ==");
+    let (rho_p, rho_n) = if smoke { (4, 256) } else { (32, 4096) };
     let t = run_rho_table(
         &[1.0, 2.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0],
-        32,
-        4096,
+        rho_p,
+        rho_n,
     );
     write_and_print(&t, "rho_table");
 
     println!("== Section 4.1.2: partition quality ==");
     for profile in SpeedDistribution::paper_profiles() {
-        let t = run_partition_quality(
-            &[2, 4, 8, 16, 32, 64, 128, 256, 512],
-            &profile,
-            part_trials,
-            seed,
-        );
+        let t = run_partition_quality(part_ps, &profile, part_trials, seed);
         write_and_print(&t, &format!("partition_quality_{}", profile.name()));
     }
 
@@ -99,9 +112,10 @@ fn main() {
         SpeedDistribution::paper_uniform(),
         SpeedDistribution::paper_lognormal(),
     ] {
+        let (aff_p, aff_n) = if smoke { (4, 256) } else { (32, 2048) };
         let t = run_affinity(
-            32,
-            2048,
+            aff_p,
+            aff_n,
             &profile,
             &[1, 2, 4, 8, 16, 32, 64],
             part_trials.min(20),

@@ -80,14 +80,7 @@ fn footprint_table_has_one_row_per_worker() {
 
 #[test]
 fn affinity_table_improves_with_window() {
-    let t = affinity::run_affinity(
-        8,
-        512,
-        &SpeedDistribution::paper_uniform(),
-        &[1, 32],
-        3,
-        1,
-    );
+    let t = affinity::run_affinity(8, 512, &SpeedDistribution::paper_uniform(), &[1, 32], 3, 1);
     let shipped = t.column("shipped_over_lb_mean").unwrap();
     assert!(shipped[1] <= shipped[0] + 1e-9);
 }
@@ -100,4 +93,160 @@ fn traces_render_non_trivially() {
     let (events, chart) = traces::fig3_matmul_trace(8, 2, 2);
     assert_eq!(events.len(), 16);
     assert!(chart.contains('#'));
+}
+
+// ---------------------------------------------------------------------------
+// Binary smoke tests: every experiment binary must parse its flags and run
+// its smallest configuration to completion. Cargo builds the binaries for
+// integration tests and exposes their paths via `CARGO_BIN_EXE_<name>`.
+// ---------------------------------------------------------------------------
+
+/// Runs one experiment binary with `args`, pointing `DLT_RESULTS` at a
+/// unique per-run temp directory, and returns its stdout. When
+/// `expects_csv` is set, asserts at least one CSV landed in that
+/// directory — `write_and_print` only warns on write failures, so without
+/// this check a CSV-output regression would pass the smoke suite silently.
+fn run_bin(exe: &str, tag: &str, args: &[&str], expects_csv: bool) -> String {
+    let results = std::env::temp_dir().join(format!("dlt-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&results).expect("create smoke results dir");
+    let out = std::process::Command::new(exe)
+        .args(args)
+        .env("DLT_RESULTS", &results)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} exited with {}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(!stdout.is_empty(), "{exe} produced no output");
+    if expects_csv {
+        let csvs = std::fs::read_dir(&results)
+            .expect("read smoke results dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "csv"))
+            .count();
+        assert!(csvs > 0, "{exe} wrote no CSV under {}", results.display());
+    }
+    let _ = std::fs::remove_dir_all(&results);
+    stdout
+}
+
+#[test]
+fn bin_affinity_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_affinity"),
+        "affinity",
+        &["--p", "4", "--n", "128", "--trials", "1", "--seed", "1"],
+        true,
+    );
+    assert!(out.contains("affinity"));
+}
+
+#[test]
+fn bin_all_smoke() {
+    let out = run_bin(env!("CARGO_BIN_EXE_all"), "all", &["--smoke"], true);
+    assert!(out.contains("all experiments done."));
+}
+
+#[test]
+fn bin_fig1_trace_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_fig1-trace"),
+        "fig1",
+        &["--n", "512", "--seed", "1"],
+        false,
+    );
+    assert!(out.contains("Figure 1"));
+    assert!(out.contains("trace events"));
+}
+
+#[test]
+fn bin_fig2_footprint_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_fig2-footprint"),
+        "fig2",
+        &["--p", "2", "--k", "4", "--n", "24"],
+        true,
+    );
+    assert!(out.contains("footprint"));
+}
+
+#[test]
+fn bin_fig3_matmul_trace_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_fig3-matmul-trace"),
+        "fig3",
+        &["--n", "4", "--q", "2", "--steps", "1"],
+        false,
+    );
+    assert!(out.contains("Figure 3"));
+}
+
+#[test]
+fn bin_fig4_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_fig4"),
+        "fig4",
+        &["uniform", "--trials", "1", "--n", "400", "--seed", "1"],
+        true,
+    );
+    assert!(out.contains("Commhet"));
+}
+
+#[test]
+fn bin_partition_quality_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_partition-quality"),
+        "partq",
+        &["--trials", "1", "--seed", "1"],
+        true,
+    );
+    assert!(out.contains("peri_sum"));
+}
+
+#[test]
+fn bin_rho_table_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_rho-table"),
+        "rho",
+        &["--p", "4", "--n", "256"],
+        true,
+    );
+    assert!(out.contains("rho"));
+}
+
+#[test]
+fn bin_sec2_no_free_lunch_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_sec2-no-free-lunch"),
+        "sec2",
+        &["--n", "64", "--seed", "1"],
+        true,
+    );
+    assert!(out.contains("remaining"));
+}
+
+#[test]
+fn bin_sec3_hetero_sort_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_sec3-hetero-sort"),
+        "sec3het",
+        &["--trials", "1", "--n", "4096", "--seed", "1"],
+        true,
+    );
+    assert!(out.contains("max_overload"));
+}
+
+#[test]
+fn bin_sec3_sample_sort_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_sec3-sample-sort"),
+        "sec3ss",
+        &["--trials", "1", "--seed", "1"],
+        true,
+    );
+    assert!(out.contains("overload"));
 }

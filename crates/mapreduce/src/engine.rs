@@ -126,9 +126,9 @@ where
             splits.push(chunk);
         }
     }
-    let split_slots: Vec<parking_lot::Mutex<Option<Vec<I>>>> = splits
+    let split_slots: Vec<std::sync::Mutex<Option<Vec<I>>>> = splits
         .into_iter()
-        .map(|s| parking_lot::Mutex::new(Some(s)))
+        .map(|s| std::sync::Mutex::new(Some(s)))
         .collect();
     let cursor = AtomicUsize::new(0);
 
@@ -138,12 +138,12 @@ where
         units: usize,
     }
 
-    let map_results: Vec<MapResult<K, V>> = crossbeam::scope(|scope| {
+    let map_results: Vec<MapResult<K, V>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.map_workers)
             .map(|_| {
                 let cursor = &cursor;
                 let slots = &split_slots;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut buckets: Vec<Vec<(K, V)>> = (0..n_parts).map(|_| Vec::new()).collect();
                     let mut records = 0usize;
                     let mut units = 0usize;
@@ -152,7 +152,11 @@ where
                         if idx >= slots.len() {
                             break;
                         }
-                        let split = slots[idx].lock().take().expect("split taken once");
+                        let split = slots[idx]
+                            .lock()
+                            .expect("split slot poisoned")
+                            .take()
+                            .expect("split taken once");
                         for record in split {
                             units += mapper.input_units(&record);
                             records += 1;
@@ -169,9 +173,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("map worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
+    });
 
     let per_mapper_records: Vec<usize> = map_results.iter().map(|r| r.records).collect();
     let map_input_units: usize = map_results.iter().map(|r| r.units).sum();
@@ -190,11 +196,11 @@ where
     let per_reducer_pairs: Vec<usize> = partitions.iter().map(Vec::len).collect();
 
     // --- Reduce phase: one thread per partition. --------------------------
-    let mut outputs: Vec<(K, O)> = crossbeam::scope(|scope| {
+    let mut outputs: Vec<(K, O)> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .into_iter()
             .map(|mut pairs| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     pairs.sort_by(|a, b| a.0.cmp(&b.0));
                     let mut out: Vec<(K, O)> = Vec::new();
                     let mut iter = pairs.into_iter().peekable();
@@ -212,10 +218,9 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().unwrap())
+            .flat_map(|h| h.join().expect("reduce worker panicked"))
             .collect()
-    })
-    .expect("reduce worker panicked");
+    });
     outputs.sort_by(|a, b| a.0.cmp(&b.0));
 
     let report = VolumeReport {

@@ -91,12 +91,12 @@ pub fn execute_partitioned_matmul(a: &Matrix, b: &Matrix, rects: &[IntRect]) -> 
     );
 
     // Each worker computes its rectangle into a private dense buffer.
-    let locals: Vec<(IntRect, Vec<f64>)> = crossbeam::scope(|scope| {
+    let locals: Vec<(IntRect, Vec<f64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = rects
             .iter()
             .filter(|r| !r.is_degenerate())
             .map(|&r| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let (h, w) = (r.height(), r.width());
                     let mut local = vec![0.0f64; h * w];
                     for k in 0..n {
@@ -117,9 +117,11 @@ pub fn execute_partitioned_matmul(a: &Matrix, b: &Matrix, rects: &[IntRect]) -> 
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("matmul worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matmul worker panicked"))
+            .collect()
+    });
 
     let mut c = Matrix::zeros(n, n);
     for (r, local) in locals {

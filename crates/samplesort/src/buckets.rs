@@ -38,14 +38,16 @@ pub fn scatter_parallel<T: Ord + Clone + Send + Sync>(
         return scatter(data, splitters);
     }
     let chunk = data.len().div_ceil(threads);
-    let partials: Vec<Vec<Vec<T>>> = crossbeam::scope(|scope| {
+    let partials: Vec<Vec<Vec<T>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = data
             .chunks(chunk)
-            .map(|slice| scope.spawn(move |_| scatter(slice, splitters)))
+            .map(|slice| scope.spawn(move || scatter(slice, splitters)))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("scatter worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scatter worker panicked"))
+            .collect()
+    });
 
     let mut buckets: Vec<Vec<T>> = (0..p)
         .map(|b| {

@@ -121,19 +121,21 @@ where
     // --- Step 3: sort every bucket on its own worker thread. -------------
     let t2 = Instant::now();
     let sizes: Vec<usize> = buckets.iter().map(Vec::len).collect();
-    let mut sorted_buckets: Vec<Vec<T>> = crossbeam::scope(|scope| {
+    let mut sorted_buckets: Vec<Vec<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .into_iter()
             .map(|mut bucket| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     bucket.sort_unstable();
                     bucket
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("bucket sort worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bucket sort worker panicked"))
+            .collect()
+    });
 
     let mut sorted = Vec::with_capacity(n);
     for bucket in &mut sorted_buckets {

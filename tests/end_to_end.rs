@@ -104,9 +104,7 @@ fn work_fraction_triangulates() {
 
     let closed = 1.0 / (p as f64); // 1/P^{α−1} with α = 2
     assert!((alloc.work_fraction_done() - closed).abs() < 1e-9);
-    assert!(
-        (analysis::remaining_fraction_homogeneous(p, alpha) - (1.0 - closed)).abs() < 1e-12
-    );
+    assert!((analysis::remaining_fraction_homogeneous(p, alpha) - (1.0 - closed)).abs() < 1e-12);
 
     let report = simulate(&platform, &alloc.to_schedule());
     assert!((report.total_work - alloc.work_done()).abs() < 1e-6 * alloc.work_done());

@@ -1,0 +1,98 @@
+//! Offline vendored shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate (1.x API subset).
+//!
+//! This workspace builds with no network access, so the property-testing
+//! surface the test suites use is reimplemented here:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, ranges as
+//!   strategies, tuples of strategies, and [`strategy::Just`];
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * [`collection::vec`] with `Range` / `RangeInclusive` size bounds;
+//! * the [`proptest!`] macro plus [`prop_assert!`] / [`prop_assert_eq!`] /
+//!   [`prop_assert_ne!`], and `ProptestConfig::with_cases`.
+//!
+//! The crucial difference from real proptest: **no shrinking**. A failing
+//! case panics with the seed-derived inputs it drew; cases are generated
+//! from a deterministic per-test seed (FNV hash of the test's module path
+//! and name), so failures reproduce exactly under `cargo test`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(pattern in strategy, ...)`
+/// item expands to a standard `#[test]` that draws `cases` inputs from a
+/// deterministic RNG and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)*
+                $body
+                let _ = __case;
+            }
+        }
+    )*};
+}
+
+/// Skips the current generated case when `cond` does not hold (real
+/// proptest rejects and regenerates; this shim simply moves to the next
+/// case, which is equivalent for the acceptance rates used here).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

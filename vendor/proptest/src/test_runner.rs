@@ -1,0 +1,50 @@
+//! Test configuration and the deterministic RNG driving value generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (subset of proptest's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 128 cases: half of real proptest's default, plenty for CI while
+    /// keeping the heavier simulation properties fast.
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per test: seeded from an
+/// FNV-1a hash of the test's fully qualified name, so every `cargo test`
+/// run draws the same inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the generator for the named test.
+    pub fn for_test(qualified_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in qualified_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

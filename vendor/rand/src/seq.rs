@@ -1,0 +1,81 @@
+//! Sequence-related helpers (`rand::seq` subset).
+
+/// Index sampling without replacement (`rand::seq::index` subset).
+pub mod index {
+    use crate::RngCore;
+
+    /// A set of sampled indices, in sampling order.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes the sample into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    fn below<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((rng.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Samples `amount` distinct indices from `0..length` uniformly without
+    /// replacement (Floyd's algorithm). Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from 0..{length}"
+        );
+        let mut chosen = std::collections::HashSet::with_capacity(amount);
+        let mut out = Vec::with_capacity(amount);
+        for j in (length - amount)..length {
+            let t = below(rng, j + 1);
+            if chosen.insert(t) {
+                out.push(t);
+            } else {
+                chosen.insert(j);
+                out.push(j);
+            }
+        }
+        IndexVec(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(3);
+            for &(len, amt) in &[(10usize, 10usize), (1000, 37), (5, 0), (1, 1)] {
+                let idx = sample(&mut rng, len, amt).into_vec();
+                assert_eq!(idx.len(), amt);
+                let set: std::collections::HashSet<_> = idx.iter().copied().collect();
+                assert_eq!(set.len(), amt, "indices must be distinct");
+                assert!(idx.iter().all(|&i| i < len));
+            }
+        }
+    }
+}
