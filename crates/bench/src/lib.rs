@@ -12,6 +12,7 @@
 //! | `fig4_strategies` | §4.3 / F4 | `Commhom`, `Commhom/k`, `Commhet` evaluation |
 //! | `rho_bounds` | §4.1.3 / T1 | two-class ρ measurement |
 //! | `matmul` | §4.2 / F3 | partitioned MM execution vs GEMM kernels |
+//! | `hotpaths` | perf trajectory | heap vs linear `simulate_demand`; pruned vs full PERI-SUM DP — emits `BENCH_hotpaths.json` |
 //!
 //! The benches also print the figure series they regenerate (via
 //! `eprintln!`) so `cargo bench` output doubles as a reproduction log.

@@ -1,20 +1,23 @@
 //! Runs every experiment with paper-scale parameters and writes all CSVs
 //! under `results/` — the one-shot reproduction driver.
 //!
-//! `cargo run --release -p dlt-experiments --bin all -- [--quick|--smoke]`
+//! `cargo run --release -p dlt-experiments --bin all --
+//! [--quick|--smoke] [--threads W]`
 //!
 //! `--quick` trims trial counts (useful in CI); without it the Figure 4
 //! sweep runs the paper's full 100 trials per point. `--smoke` shrinks
 //! every dimension (trials, N, p sweeps) to the minimum that still
 //! exercises each runner end to end — it is what the harness smoke test
-//! drives, and finishes in seconds even in debug builds.
+//! drives, and finishes in seconds even in debug builds. `--threads W`
+//! caps the trial-loop worker pool (default `0` = all cores); every CSV
+//! is byte-identical regardless of the thread count.
 
 use dlt_experiments::affinity::run_affinity;
 use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
 use dlt_experiments::footprint::run_fig2;
 use dlt_experiments::partition_quality::run_partition_quality;
 use dlt_experiments::rho::run_rho_table;
-use dlt_experiments::runner::{parse_flags, write_and_print};
+use dlt_experiments::runner::{parse_flags, thread_count, write_and_print};
 use dlt_experiments::sec2::{run_sec2, PAPER_ALPHAS};
 use dlt_experiments::sec3::{run_hetero_sort, run_sample_sort};
 use dlt_experiments::traces::{fig1_sample_sort_trace, fig3_matmul_trace};
@@ -24,6 +27,7 @@ fn main() {
     let flags = parse_flags(std::env::args().skip(1));
     let smoke = flags.contains_key("smoke");
     let quick = smoke || flags.contains_key("quick");
+    let threads = thread_count(&flags);
     let seed = 42u64;
     let (fig4_trials, sort_trials, part_trials) = if smoke {
         (1, 1, 1)
@@ -87,7 +91,7 @@ fn main() {
 
     println!("== Figure 4 (a)(b)(c) ==");
     for profile in SpeedDistribution::paper_profiles() {
-        let pts = run_fig4(&profile, fig4_ps, fig4_trials, fig4_n, seed);
+        let pts = run_fig4(&profile, fig4_ps, fig4_trials, fig4_n, seed, threads);
         let t = fig4_table(profile.name(), &pts);
         write_and_print(&t, &format!("fig4_{}", profile.name()));
     }
@@ -98,12 +102,13 @@ fn main() {
         &[1.0, 2.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0],
         rho_p,
         rho_n,
+        threads,
     );
     write_and_print(&t, "rho_table");
 
     println!("== Section 4.1.2: partition quality ==");
     for profile in SpeedDistribution::paper_profiles() {
-        let t = run_partition_quality(part_ps, &profile, part_trials, seed);
+        let t = run_partition_quality(part_ps, &profile, part_trials, seed, threads);
         write_and_print(&t, &format!("partition_quality_{}", profile.name()));
     }
 

@@ -1,13 +1,14 @@
 //! Regenerates Figure 4: `cargo run --release -p dlt-experiments --bin
 //! fig4 -- [homogeneous|uniform|lognormal|all] [--trials T] [--n N]
-//! [--seed S]`.
+//! [--seed S] [--threads W]`.
 //!
 //! Defaults follow the paper: p ∈ {10,20,40,60,80,100}, 100 trials per
-//! point. Prints the table, an ASCII rendition of the figure, and writes
-//! `results/fig4_<profile>.csv`.
+//! point, dispatched over all cores (`--threads 0`; results are identical
+//! for every thread count). Prints the table, an ASCII rendition of the
+//! figure, and writes `results/fig4_<profile>.csv`.
 
 use dlt_experiments::fig4::{fig4_table, run_fig4, series_for, PAPER_P_VALUES, PAPER_TRIALS};
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
 use dlt_outer::Strategy;
 use dlt_platform::SpeedDistribution;
 use dlt_stats::AsciiPlot;
@@ -22,6 +23,7 @@ fn main() {
     let trials: usize = flag_or(&flags, "trials", PAPER_TRIALS);
     let n: usize = flag_or(&flags, "n", 10_000);
     let seed: u64 = flag_or(&flags, "seed", 42);
+    let threads = thread_count(&flags);
 
     let profiles: Vec<SpeedDistribution> = if profile_arg == "all" {
         SpeedDistribution::paper_profiles().to_vec()
@@ -31,8 +33,10 @@ fn main() {
 
     for profile in profiles {
         let name = profile.name();
-        eprintln!("running fig4 profile={name} trials={trials} n={n} seed={seed} ...");
-        let points = run_fig4(&profile, &PAPER_P_VALUES, trials, n, seed);
+        eprintln!(
+            "running fig4 profile={name} trials={trials} n={n} seed={seed} threads={threads} ..."
+        );
+        let points = run_fig4(&profile, &PAPER_P_VALUES, trials, n, seed, threads);
         let table = fig4_table(name, &points);
         write_and_print(&table, &format!("fig4_{name}"));
 

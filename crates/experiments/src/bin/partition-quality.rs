@@ -3,19 +3,20 @@
 //! worst-case guarantee.
 //!
 //! `cargo run --release -p dlt-experiments --bin partition-quality --
-//! [--trials T] [--seed S]`
+//! [--trials T] [--seed S] [--threads W]`
 
 use dlt_experiments::partition_quality::run_partition_quality;
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
 use dlt_platform::SpeedDistribution;
 
 fn main() {
     let flags = parse_flags(std::env::args().skip(1));
     let trials: usize = flag_or(&flags, "trials", 50);
     let seed: u64 = flag_or(&flags, "seed", 42);
+    let threads = thread_count(&flags);
     let ps = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
     for profile in SpeedDistribution::paper_profiles() {
-        let table = run_partition_quality(&ps, &profile, trials, seed);
+        let table = run_partition_quality(&ps, &profile, trials, seed, threads);
         write_and_print(&table, &format!("partition_quality_{}", profile.name()));
     }
     println!(

@@ -2,17 +2,18 @@
 //! two-class platforms vs the closed-form bounds.
 //!
 //! `cargo run --release -p dlt-experiments --bin rho-table -- [--p P]
-//! [--n N]`
+//! [--n N] [--threads W]`
 
 use dlt_experiments::rho::run_rho_table;
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
 
 fn main() {
     let flags = parse_flags(std::env::args().skip(1));
     let p: usize = flag_or(&flags, "p", 32);
     let n: usize = flag_or(&flags, "n", 4096);
+    let threads = thread_count(&flags);
     let ks = [1.0, 2.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0];
-    let table = run_rho_table(&ks, p, n);
+    let table = run_rho_table(&ks, p, n, threads);
     write_and_print(&table, "rho_table");
     println!(
         "Reading: the measured ratio rho grows like sqrt(k) and dominates the\n\

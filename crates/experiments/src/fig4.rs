@@ -35,26 +35,36 @@ pub struct Fig4Point {
 /// `n` is the domain side (the paper says "a large matrix"; ratios are
 /// essentially `n`-independent once `n ≫ p`). Returns the raw points;
 /// use [`fig4_table`] for the tabular form.
+///
+/// Trials are independent — each draws its platform from its own derived
+/// seed stream — so they are dispatched across `threads` scoped workers
+/// ([`crate::runner::par_map`]) and folded back **in trial order**: the
+/// resulting points (and thus the CSVs) are byte-identical for every
+/// thread count, including `1`.
 pub fn run_fig4(
     profile: &SpeedDistribution,
     ps: &[usize],
     trials: usize,
     n: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<Fig4Point> {
     let mut points = Vec::new();
     for &p in ps {
         let spec = PlatformSpec::new(p, profile.clone());
         for strategy in Strategy::paper_strategies() {
-            let mut ratio = Summary::new();
-            let mut k_sum = 0.0;
-            for trial in 0..trials {
+            let per_trial = crate::runner::par_map(trials, threads, |trial| {
                 let platform = spec
                     .generate_stream(seed, trial as u64)
                     .expect("valid spec");
                 let report = evaluate(&platform, n, strategy);
-                ratio.push(report.ratio_to_lb);
-                k_sum += report.k as f64;
+                (report.ratio_to_lb, report.k)
+            });
+            let mut ratio = Summary::new();
+            let mut k_sum = 0.0;
+            for &(r, k) in &per_trial {
+                ratio.push(r);
+                k_sum += k as f64;
             }
             points.push(Fig4Point {
                 p,
@@ -119,6 +129,7 @@ mod tests {
             3,
             2000,
             1,
+            2,
         );
         for pt in &pts {
             assert!(
@@ -135,7 +146,14 @@ mod tests {
     fn uniform_profile_reproduces_figure_shape() {
         // Figure 4(b) shape: Commhet ≤ ~1.02; Commhom/k ≥ Commhom ≫ 1 and
         // growing with p.
-        let pts = run_fig4(&SpeedDistribution::paper_uniform(), &[10, 100], 10, 5000, 7);
+        let pts = run_fig4(
+            &SpeedDistribution::paper_uniform(),
+            &[10, 100],
+            10,
+            5000,
+            7,
+            2,
+        );
         let get = |p: usize, name: &str| {
             pts.iter()
                 .find(|pt| pt.p == p && pt.strategy.name() == name)
@@ -163,10 +181,36 @@ mod tests {
             2,
             500,
             3,
+            1,
         );
         let t = fig4_table("homogeneous", &pts);
         assert_eq!(t.n_rows(), pts.len());
         assert_eq!(pts.len(), 2 * 3);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The per-trial seed streams plus the order-preserving fold make
+        // the sweep deterministic in the worker count.
+        let serial = run_fig4(
+            &SpeedDistribution::paper_uniform(),
+            &[10, 20],
+            6,
+            1000,
+            5,
+            1,
+        );
+        let parallel = run_fig4(
+            &SpeedDistribution::paper_uniform(),
+            &[10, 20],
+            6,
+            1000,
+            5,
+            4,
+        );
+        let a = fig4_table("uniform", &serial);
+        let b = fig4_table("uniform", &parallel);
+        assert_eq!(a.to_csv(), b.to_csv());
     }
 
     #[test]
@@ -177,6 +221,7 @@ mod tests {
             2,
             500,
             3,
+            1,
         );
         let s = series_for(&pts, Strategy::HetRects);
         assert_eq!(s.len(), 2);

@@ -32,4 +32,6 @@ pub mod sec2;
 pub mod sec3;
 pub mod traces;
 
-pub use runner::{parse_flags, results_dir, write_and_print};
+pub use runner::{
+    par_map, par_map_with, parse_flags, resolve_threads, results_dir, thread_count, write_and_print,
+};

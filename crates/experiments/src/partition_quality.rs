@@ -2,18 +2,24 @@
 //! paper observes it "always within 2% of the lower bound" despite the
 //! 7/4 worst-case guarantee.
 
-use dlt_partition::{bisection_partition, lower_bound, peri_sum_partition, sqrt_columns_partition};
+use dlt_partition::{bisection_partition, lower_bound, sqrt_columns_partition, PeriSumDp};
 use dlt_platform::{PlatformSpec, SpeedDistribution};
 use dlt_stats::{Summary, Table};
 
 /// For each `p`, draws `trials` random area vectors from the given speed
 /// profile and reports the ratio (cost / lower bound) of the PERI-SUM DP
 /// and of the two ablation baselines.
+///
+/// Trials run on `threads` scoped workers, each holding its own
+/// [`PeriSumDp`] workspace so the DP's sort/cost buffers are reused across
+/// that worker's trials. Per-trial ratios are folded back in trial order,
+/// keeping the table byte-identical for every thread count.
 pub fn run_partition_quality(
     ps: &[usize],
     profile: &SpeedDistribution,
     trials: usize,
     seed: u64,
+    threads: usize,
 ) -> Table {
     let mut t = Table::new(&[
         "p",
@@ -27,25 +33,33 @@ pub fn run_partition_quality(
     .with_title("Section 4.1.2: partition cost / lower bound (PERI-SUM vs baselines)");
     for &p in ps {
         let spec = PlatformSpec::new(p, profile.clone());
+        let per_trial = crate::runner::par_map_with(
+            trials,
+            threads,
+            PeriSumDp::new,
+            |dp_ws: &mut PeriSumDp, trial| {
+                let platform = spec.generate_stream(seed, trial as u64).unwrap();
+                let weights = platform.speeds();
+                let lb = lower_bound(&weights).unwrap();
+                let c_dp = dp_ws.partition(&weights).unwrap().total_half_perimeter();
+                let c_sq = sqrt_columns_partition(&weights)
+                    .unwrap()
+                    .total_half_perimeter();
+                let c_bi = bisection_partition(&weights)
+                    .unwrap()
+                    .total_half_perimeter();
+                (c_dp / lb, c_sq / lb, c_bi / lb, c_dp / (1.0 + 1.25 * lb))
+            },
+        );
         let mut dp = Summary::new();
         let mut sq = Summary::new();
         let mut bi = Summary::new();
         let mut worst_guarantee = 0.0f64;
-        for trial in 0..trials {
-            let platform = spec.generate_stream(seed, trial as u64).unwrap();
-            let weights = platform.speeds();
-            let lb = lower_bound(&weights).unwrap();
-            let c_dp = peri_sum_partition(&weights).unwrap().total_half_perimeter();
-            let c_sq = sqrt_columns_partition(&weights)
-                .unwrap()
-                .total_half_perimeter();
-            let c_bi = bisection_partition(&weights)
-                .unwrap()
-                .total_half_perimeter();
-            dp.push(c_dp / lb);
-            sq.push(c_sq / lb);
-            bi.push(c_bi / lb);
-            worst_guarantee = worst_guarantee.max(c_dp / (1.0 + 1.25 * lb));
+        for &(r_dp, r_sq, r_bi, guarantee) in &per_trial {
+            dp.push(r_dp);
+            sq.push(r_sq);
+            bi.push(r_bi);
+            worst_guarantee = worst_guarantee.max(guarantee);
         }
         t.row([
             p.into(),
@@ -66,7 +80,7 @@ mod tests {
 
     #[test]
     fn dp_is_within_a_few_percent_of_lb_for_large_p() {
-        let t = run_partition_quality(&[64, 128], &SpeedDistribution::paper_uniform(), 5, 1);
+        let t = run_partition_quality(&[64, 128], &SpeedDistribution::paper_uniform(), 5, 1, 1);
         for v in t.column("peri_sum_max").unwrap() {
             assert!(v < 1.05, "ratio {v}"); // paper reports ≤ ~2%
         }
@@ -75,7 +89,7 @@ mod tests {
     #[test]
     fn guarantee_never_exceeded() {
         for profile in SpeedDistribution::paper_profiles() {
-            let t = run_partition_quality(&[2, 8, 32], &profile, 5, 2);
+            let t = run_partition_quality(&[2, 8, 32], &profile, 5, 2, 2);
             for g in t.column("guarantee_1_plus_5_4").unwrap() {
                 assert!(g <= 1.0 + 1e-9, "guarantee ratio {g}");
             }
@@ -84,9 +98,17 @@ mod tests {
 
     #[test]
     fn dp_beats_sqrt_columns_on_average() {
-        let t = run_partition_quality(&[32], &SpeedDistribution::paper_lognormal(), 10, 3);
+        let t = run_partition_quality(&[32], &SpeedDistribution::paper_lognormal(), 10, 3, 1);
         let dp = t.column("peri_sum_mean").unwrap()[0];
         let sq = t.column("sqrt_cols_mean").unwrap()[0];
         assert!(dp <= sq + 1e-9);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let profile = SpeedDistribution::paper_uniform();
+        let serial = run_partition_quality(&[8, 64], &profile, 7, 11, 1);
+        let parallel = run_partition_quality(&[8, 64], &profile, 7, 11, 5);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
     }
 }

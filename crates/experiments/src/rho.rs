@@ -11,7 +11,12 @@ use dlt_stats::Table;
 /// with half slow (`s = 1`) and half fast (`s = k`) workers; columns
 /// compare the *measured* ratio of simulated volumes against the paper's
 /// analytic bounds `(4/7)·Σs/(√s₁Σ√s)`, `(1+k)/(1+√k)` and `√k − 1`.
-pub fn run_rho_table(ks: &[f64], p: usize, n: usize) -> Table {
+///
+/// The rows are mutually independent (two-class platforms are built
+/// deterministically from `k`, no RNG), so each runs on its own scoped
+/// worker ([`crate::runner::par_map`]); rows are emitted in `ks` order and
+/// the table is byte-identical for every thread count.
+pub fn run_rho_table(ks: &[f64], p: usize, n: usize, threads: usize) -> Table {
     assert!(p.is_multiple_of(2), "two-class platforms need an even p");
     let mut t = Table::new(&[
         "k",
@@ -22,18 +27,27 @@ pub fn run_rho_table(ks: &[f64], p: usize, n: usize) -> Table {
         "bound_sqrt_k",
     ])
     .with_title("Section 4.1.3: rho = Commhom/Commhet on two-class platforms");
-    for &k in ks {
+    let rows = crate::runner::par_map(ks.len(), threads, |row| {
+        let k = ks[row];
         let platform = Platform::two_class(p, 1.0, k).unwrap();
         let hom = hom_blocks_abstract(&platform, n, 1);
         let het = het_rects(&platform, n);
         let measured = hom.comm_volume / het.comm_volume;
         let analytic_hom = commhom_analytic(&platform, n) / het.comm_volume;
+        (
+            measured,
+            analytic_hom,
+            rho_lower_bound(&platform),
+            two_class_rho_bound(k),
+        )
+    });
+    for (&k, &(measured, analytic_hom, general, two_class)) in ks.iter().zip(&rows) {
         t.row([
             k.into(),
             measured.into(),
             analytic_hom.into(),
-            rho_lower_bound(&platform).into(),
-            two_class_rho_bound(k).into(),
+            general.into(),
+            two_class.into(),
             (k.sqrt() - 1.0).into(),
         ]);
     }
@@ -46,7 +60,7 @@ mod tests {
 
     #[test]
     fn measured_rho_dominates_bounds_and_grows() {
-        let t = run_rho_table(&[1.0, 4.0, 16.0, 64.0], 32, 4096);
+        let t = run_rho_table(&[1.0, 4.0, 16.0, 64.0], 32, 4096, 2);
         let measured = t.column("rho_measured").unwrap();
         let general = t.column("bound_general").unwrap();
         let two_class = t.column("bound_two_class").unwrap();
@@ -77,7 +91,7 @@ mod tests {
 
     #[test]
     fn k_equal_one_is_homogeneous() {
-        let t = run_rho_table(&[1.0], 8, 1024);
+        let t = run_rho_table(&[1.0], 8, 1024, 1);
         let measured = t.column("rho_measured").unwrap()[0];
         assert!((0.9..1.1).contains(&measured), "rho {measured}");
     }

@@ -1,8 +1,10 @@
-//! Shared plumbing for the experiment binaries.
+//! Shared plumbing for the experiment binaries: results directory, flag
+//! parsing, and the scoped-thread trial pool behind `--threads`.
 
 use dlt_stats::Table;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Directory the CSV outputs go to: `$DLT_RESULTS` or `./results`.
 pub fn results_dir() -> PathBuf {
@@ -45,6 +47,87 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, Vec<St
         out.entry(prev).or_default().push("true".to_string());
     }
     out
+}
+
+/// Resolves a requested thread count: `0` means "all available cores"
+/// (the `--threads` default), anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Reads `--threads N` from parsed flags (`0` / absent → all cores).
+pub fn thread_count(flags: &HashMap<String, Vec<String>>) -> usize {
+    resolve_threads(flag_or(flags, "threads", 0usize))
+}
+
+/// Order-preserving parallel map over `0..n`: `out[i] == f(i)`.
+///
+/// Work is pulled from an atomic counter by `threads` scoped workers, so
+/// uneven per-item costs (e.g. `Commhom/k` refinement depth varying per
+/// platform) balance automatically. The output vector is assembled **in
+/// index order**, so any fold over it — `Summary::push`, float
+/// accumulation, CSV rows — sees exactly the sequence a serial loop would
+/// have produced: results are byte-identical for every thread count.
+/// A worker panic propagates to the caller after the scope joins.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with(n, threads, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with per-worker scratch state: `init` runs once per worker
+/// thread and the resulting state is passed to every `f` call that worker
+/// executes. Lets trial loops reuse expensive workspaces (e.g.
+/// [`dlt_partition::PeriSumDp`]) without cross-thread sharing. The state
+/// must not influence results — `out[i]` must equal `f(&mut init(), i)`.
+pub fn par_map_with<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("trial worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
 }
 
 /// Fetches a parsed flag as `T`, with a default.
@@ -94,6 +177,46 @@ mod tests {
     fn trailing_flag_without_value_is_true() {
         let f = parse(&["--verbose"]);
         assert_eq!(f["verbose"], vec!["true"]);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 7] {
+            let out = par_map(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        assert_eq!(par_map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn par_map_with_gives_each_worker_its_own_state() {
+        // Each worker counts its own calls; the per-item results must not
+        // depend on that state, and the total must cover every index.
+        let out = par_map_with(
+            50,
+            4,
+            || 0usize,
+            |calls, i| {
+                *calls += 1;
+                (i, *calls)
+            },
+        );
+        let indices: Vec<usize> = out.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, (0..50).collect::<Vec<_>>());
+        assert!(out.iter().all(|&(_, calls)| calls >= 1));
+    }
+
+    #[test]
+    fn thread_count_parses_and_defaults() {
+        assert_eq!(thread_count(&parse(&["--threads", "3"])), 3);
+        assert!(thread_count(&parse(&[])) >= 1);
+        assert!(thread_count(&parse(&["--threads", "0"])) >= 1);
+        assert_eq!(resolve_threads(5), 5);
     }
 
     #[test]

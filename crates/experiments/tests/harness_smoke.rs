@@ -9,7 +9,7 @@ use dlt_platform::SpeedDistribution;
 #[test]
 fn fig4_runner_covers_every_point() {
     let ps = [10usize, 20];
-    let pts = fig4::run_fig4(&SpeedDistribution::paper_uniform(), &ps, 3, 2000, 1);
+    let pts = fig4::run_fig4(&SpeedDistribution::paper_uniform(), &ps, 3, 2000, 1, 2);
     assert_eq!(pts.len(), ps.len() * 3);
     let table = fig4::fig4_table("uniform", &pts);
     assert_eq!(table.n_rows(), pts.len());
@@ -48,7 +48,7 @@ fn sec3_tables_have_expected_shape() {
 
 #[test]
 fn rho_table_monotone_in_k() {
-    let t = rho::run_rho_table(&[1.0, 16.0], 8, 512);
+    let t = rho::run_rho_table(&[1.0, 16.0], 8, 512, 2);
     let m = t.column("rho_measured").unwrap();
     assert!(m[1] > m[0]);
 }
@@ -60,6 +60,7 @@ fn partition_quality_within_guarantee() {
         &SpeedDistribution::paper_lognormal(),
         4,
         1,
+        2,
     );
     for g in t.column("guarantee_1_plus_5_4").unwrap() {
         assert!(g <= 1.0);
@@ -190,7 +191,17 @@ fn bin_fig4_smoke() {
     let out = run_bin(
         env!("CARGO_BIN_EXE_fig4"),
         "fig4",
-        &["uniform", "--trials", "1", "--n", "400", "--seed", "1"],
+        &[
+            "uniform",
+            "--trials",
+            "1",
+            "--n",
+            "400",
+            "--seed",
+            "1",
+            "--threads",
+            "2",
+        ],
         true,
     );
     assert!(out.contains("Commhet"));
@@ -201,7 +212,7 @@ fn bin_partition_quality_smoke() {
     let out = run_bin(
         env!("CARGO_BIN_EXE_partition-quality"),
         "partq",
-        &["--trials", "1", "--seed", "1"],
+        &["--trials", "1", "--seed", "1", "--threads", "2"],
         true,
     );
     assert!(out.contains("peri_sum"));

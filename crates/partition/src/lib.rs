@@ -45,7 +45,9 @@ pub use error::PartitionError;
 pub use grid::{scale_to_grid, IntRect};
 pub use lower_bound::{lower_bound, peri_sum_upper_bound};
 pub use peri_max::peri_max_partition;
-pub use peri_sum::{peri_sum_partition, sqrt_columns_partition};
+pub use peri_sum::{
+    peri_sum_partition, peri_sum_partition_reference, sqrt_columns_partition, PeriSumDp,
+};
 pub use rect::{Rect, SquarePartition};
 pub use validate::validate_partition;
 
@@ -54,6 +56,18 @@ pub use validate::validate_partition;
 /// Shared by every partitioner; returns an error when the input is empty
 /// or contains a non-positive / non-finite weight.
 pub(crate) fn normalize_areas(weights: &[f64]) -> Result<Vec<f64>, PartitionError> {
+    let mut areas = Vec::new();
+    normalize_areas_into(weights, &mut areas)?;
+    Ok(areas)
+}
+
+/// [`normalize_areas`] writing into a caller-provided buffer, so reusable
+/// workspaces ([`PeriSumDp`]) share the exact validation and arithmetic of
+/// the allocating path instead of duplicating them.
+pub(crate) fn normalize_areas_into(
+    weights: &[f64],
+    areas: &mut Vec<f64>,
+) -> Result<(), PartitionError> {
     if weights.is_empty() {
         return Err(PartitionError::EmptyInput);
     }
@@ -63,7 +77,9 @@ pub(crate) fn normalize_areas(weights: &[f64]) -> Result<Vec<f64>, PartitionErro
         }
     }
     let total: f64 = weights.iter().sum();
-    Ok(weights.iter().map(|&w| w / total).collect())
+    areas.clear();
+    areas.extend(weights.iter().map(|&w| w / total));
+    Ok(())
 }
 
 #[cfg(test)]

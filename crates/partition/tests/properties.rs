@@ -2,8 +2,9 @@
 //! within its theoretical guarantee on arbitrary inputs.
 
 use dlt_partition::{
-    bisection_partition, lower_bound, peri_max_partition, peri_sum_partition, peri_sum_upper_bound,
-    scale_to_grid, sqrt_columns_partition, validate_partition,
+    bisection_partition, lower_bound, peri_max_partition, peri_sum_partition,
+    peri_sum_partition_reference, peri_sum_upper_bound, scale_to_grid, sqrt_columns_partition,
+    validate_partition, PeriSumDp,
 };
 use proptest::prelude::*;
 
@@ -57,6 +58,26 @@ proptest! {
         let dp = peri_sum_partition(&w).unwrap().total_half_perimeter();
         let bi = bisection_partition(&w).unwrap().total_half_perimeter();
         prop_assert!(dp <= 1.0 + 1.25 * bi + 1e-9, "dp {dp} vs bisection {bi}");
+    }
+
+    #[test]
+    fn pruned_dp_matches_reference_bit_for_bit(w in weights()) {
+        // Not approximate: the pruned DP must reproduce the reference's
+        // costs and tie-breaks exactly, so downstream CSVs stay identical.
+        let pruned = peri_sum_partition(&w).unwrap();
+        let reference = peri_sum_partition_reference(&w).unwrap();
+        prop_assert_eq!(pruned, reference);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_runs(a in weights(), b in weights()) {
+        // One workspace across instances of different sizes must behave
+        // like fresh solves: no state may leak between calls.
+        let mut dp = PeriSumDp::new();
+        let first = dp.partition(&a).unwrap();
+        let second = dp.partition(&b).unwrap();
+        prop_assert_eq!(first, peri_sum_partition_reference(&a).unwrap());
+        prop_assert_eq!(second, peri_sum_partition_reference(&b).unwrap());
     }
 
     #[test]

@@ -81,8 +81,24 @@ impl DemandReport {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Load imbalance `e = (tmax − tmin)/tmin`; infinite when some worker
-    /// never computed anything.
+    /// Load imbalance `e = (tmax − tmin)/tmin` over **all** workers of the
+    /// platform, idle ones included.
+    ///
+    /// Convention (deliberate, and relied upon by the `Commhom/k`
+    /// refinement loop): a worker that never received a task keeps
+    /// `finish_time = 0`, so `tmin = 0` and the imbalance is **`+∞`**
+    /// whenever at least one worker computed something while another sat
+    /// idle. An infinite imbalance can never satisfy the refinement target
+    /// `e ≤ 1%`, which forces `Commhom/k` to keep splitting blocks until
+    /// every worker participates — exactly the paper's intent of measuring
+    /// imbalance "over the platform", not over the busy subset. When *no*
+    /// worker computed anything (empty task list) the run is trivially
+    /// balanced and the imbalance is `0`.
+    ///
+    /// The convention is independent of [`DemandConfig::include_comm`]:
+    /// with communication counted, an assigned worker's finish time is
+    /// strictly positive as long as the task has positive data or work, so
+    /// idle workers are still the only source of `tmin = 0`.
     pub fn imbalance(&self) -> f64 {
         crate::metrics::imbalance(&self.finish_times)
     }
@@ -98,20 +114,10 @@ impl DemandReport {
     }
 }
 
-/// Runs the demand-driven executor.
-///
-/// Workers start free at time 0. At every step the earliest-free worker
-/// (ties broken by id, so runs are deterministic) takes the next task and
-/// holds it for `work/s_i` time units (plus `c_i · data` when
-/// `config.include_comm` is set).
-pub fn simulate_demand(
-    platform: &Platform,
-    tasks: &[DemandTask],
-    config: DemandConfig,
-) -> DemandReport {
-    let p = platform.len();
+/// Dispatch order of the task queue under `policy`.
+fn dispatch_order(tasks: &[DemandTask], policy: DemandPolicy) -> Vec<usize> {
     let mut order: Vec<usize> = (0..tasks.len()).collect();
-    if config.policy == DemandPolicy::LargestFirst {
+    if policy == DemandPolicy::LargestFirst {
         order.sort_by(|&a, &b| {
             tasks[b]
                 .work
@@ -120,24 +126,53 @@ pub fn simulate_demand(
                 .then(a.cmp(&b))
         });
     }
+    order
+}
+
+/// Time worker `w` is occupied by `task` under `config`.
+#[inline]
+fn occupancy(platform: &Platform, w: usize, task: DemandTask, config: DemandConfig) -> f64 {
+    let worker = platform.worker(w);
+    let mut busy = worker.compute_time(task.work);
+    if config.include_comm {
+        busy += worker.comm_time(task.data);
+    }
+    busy
+}
+
+/// Runs the demand-driven executor.
+///
+/// Workers start free at time 0. At every step the earliest-free worker
+/// (ties broken by id, so runs are deterministic) takes the next task and
+/// holds it for `work/s_i` time units (plus `c_i · data` when
+/// `config.include_comm` is set).
+///
+/// The earliest-free worker is maintained in a binary min-heap keyed on
+/// `(free_time, worker id)`, so dispatching `T` tasks over `p` workers
+/// costs `O(T log p)` instead of the `O(T·p)` of the naive per-task scan —
+/// the dominant cost of the `Commhom/k` refinement loop behind Figure 4
+/// (see the `hotpaths` bench). [`simulate_demand_reference`] keeps the
+/// linear scan as the executable specification; both produce bit-identical
+/// reports.
+pub fn simulate_demand(
+    platform: &Platform,
+    tasks: &[DemandTask],
+    config: DemandConfig,
+) -> DemandReport {
+    let p = platform.len();
 
     // Min-heap of (free_time, worker id).
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
-        (0..p).map(|w| Reverse((OrdF64(0.0), w))).collect();
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::with_capacity(p + 1);
+    heap.extend((0..p).map(|w| Reverse((OrdF64(0.0), w))));
     let mut assignments = vec![Vec::new(); p];
     let mut finish = vec![0.0f64; p];
     let mut volume = vec![0.0f64; p];
 
-    for idx in order {
+    for idx in dispatch_order(tasks, config.policy) {
         let task = tasks[idx];
         debug_assert!(task.data >= 0.0 && task.work >= 0.0);
         let Reverse((OrdF64(free), w)) = heap.pop().expect("heap holds every worker");
-        let worker = platform.worker(w);
-        let mut busy = worker.compute_time(task.work);
-        if config.include_comm {
-            busy += worker.comm_time(task.data);
-        }
-        let done = free + busy;
+        let done = free + occupancy(platform, w, task, config);
         assignments[w].push(idx);
         finish[w] = done;
         volume[w] += task.data;
@@ -147,6 +182,54 @@ pub fn simulate_demand(
     DemandReport {
         assignments,
         finish_times: finish,
+        comm_volume: volume,
+    }
+}
+
+/// Executable specification of [`simulate_demand`]: the original
+/// linear-scan dispatcher that re-scans the whole worker pool for every
+/// task (`O(T·p)`).
+///
+/// Kept for two jobs:
+///
+/// * **oracle** — the property tests assert the heap scheduler matches
+///   this implementation bit for bit on random task/worker sets, including
+///   free-time ties (both resolve ties toward the smallest worker id);
+/// * **baseline** — the `hotpaths` bench measures the heap's speedup
+///   against it, recorded in `BENCH_hotpaths.json`.
+///
+/// Use [`simulate_demand`] everywhere else; at Figure 4 scale this version
+/// is an order of magnitude slower.
+pub fn simulate_demand_reference(
+    platform: &Platform,
+    tasks: &[DemandTask],
+    config: DemandConfig,
+) -> DemandReport {
+    let p = platform.len();
+    let mut free = vec![0.0f64; p];
+    let mut assignments = vec![Vec::new(); p];
+    let mut volume = vec![0.0f64; p];
+
+    for idx in dispatch_order(tasks, config.policy) {
+        let task = tasks[idx];
+        debug_assert!(task.data >= 0.0 && task.work >= 0.0);
+        // Earliest-free worker, smallest id on ties: strict `<` over the
+        // same total order the heap uses.
+        let mut w = 0;
+        for cand in 1..p {
+            if free[cand].total_cmp(&free[w]) == std::cmp::Ordering::Less {
+                w = cand;
+            }
+        }
+        free[w] += occupancy(platform, w, task, config);
+        assignments[w].push(idx);
+        volume[w] += task.data;
+    }
+
+    // A worker that never computed keeps finish time 0, like the heap path.
+    DemandReport {
+        assignments,
+        finish_times: free,
         comm_volume: volume,
     }
 }
@@ -216,6 +299,58 @@ mod tests {
         let r = simulate_demand(&platform, &tasks, DemandConfig::default());
         assert_eq!(r.tmin(), 0.0);
         assert!(r.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn idle_worker_is_infinite_with_include_comm_too() {
+        // The documented convention holds on the include_comm accounting
+        // path: communication lengthens busy workers' finish times but an
+        // unassigned worker still pins tmin at 0.
+        let platform = Platform::from_speeds_and_costs(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]).unwrap();
+        let config = DemandConfig {
+            include_comm: true,
+            ..Default::default()
+        };
+        let r = simulate_demand(&platform, &uniform_tasks(2, 3.0, 4.0), config);
+        assert_eq!(r.tmin(), 0.0);
+        assert!(r.imbalance().is_infinite());
+        // Once every worker holds a task the imbalance is finite again.
+        let full = simulate_demand(&platform, &uniform_tasks(3, 3.0, 4.0), config);
+        assert_eq!(full.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn reference_matches_heap_including_ties() {
+        // Homogeneous platform + identical tasks: every dispatch decision
+        // is a free-time tie, the harshest determinism test.
+        let platform = Platform::homogeneous(4, 1.0, 1.0).unwrap();
+        let tasks = uniform_tasks(13, 1.0, 1.0);
+        for config in [
+            DemandConfig::default(),
+            DemandConfig {
+                include_comm: true,
+                ..Default::default()
+            },
+            DemandConfig {
+                policy: DemandPolicy::LargestFirst,
+                ..Default::default()
+            },
+        ] {
+            let heap = simulate_demand(&platform, &tasks, config);
+            let linear = simulate_demand_reference(&platform, &tasks, config);
+            assert_eq!(heap, linear, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn reference_matches_heap_on_heterogeneous_speeds() {
+        let platform = Platform::from_speeds(&[1.0, 1.7, 2.3, 3.1, 0.4]).unwrap();
+        let tasks: Vec<DemandTask> = (0..40)
+            .map(|i| DemandTask::new((i % 5) as f64, 1.0 + (i % 7) as f64))
+            .collect();
+        let heap = simulate_demand(&platform, &tasks, DemandConfig::default());
+        let linear = simulate_demand_reference(&platform, &tasks, DemandConfig::default());
+        assert_eq!(heap, linear);
     }
 
     #[test]

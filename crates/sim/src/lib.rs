@@ -34,7 +34,10 @@ pub mod metrics;
 pub mod schedule;
 pub mod star;
 
-pub use demand::{simulate_demand, DemandConfig, DemandPolicy, DemandReport, DemandTask};
+pub use demand::{
+    simulate_demand, simulate_demand_reference, DemandConfig, DemandPolicy, DemandReport,
+    DemandTask,
+};
 pub use gantt::{ascii_gantt, TraceEvent, TraceKind};
 pub use metrics::{imbalance, utilization};
 pub use schedule::{ChunkAssignment, CommMode, Round, Schedule};

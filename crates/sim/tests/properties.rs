@@ -2,7 +2,8 @@
 
 use dlt_platform::Platform;
 use dlt_sim::{
-    simulate, simulate_demand, ChunkAssignment, CommMode, DemandConfig, DemandTask, Round, Schedule,
+    simulate, simulate_demand, simulate_demand_reference, ChunkAssignment, CommMode, DemandConfig,
+    DemandPolicy, DemandTask, Round, Schedule,
 };
 use proptest::prelude::*;
 
@@ -100,5 +101,47 @@ proptest! {
                 .sum();
             prop_assert!((r.finish_times[w] - expect).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn heap_scheduler_matches_linear_reference(
+        speeds in proptest::collection::vec(0.1f64..20.0, 1..12),
+        tasks in proptest::collection::vec(
+            (0.0f64..10.0, 0.01f64..10.0).prop_map(|(d, w)| DemandTask::new(d, w)),
+            0..80,
+        ),
+        include_comm in any::<bool>(),
+        largest_first in any::<bool>(),
+    ) {
+        let platform = Platform::from_speeds(&speeds).unwrap();
+        let config = DemandConfig {
+            policy: if largest_first { DemandPolicy::LargestFirst } else { DemandPolicy::Fifo },
+            include_comm,
+        };
+        let heap = simulate_demand(&platform, &tasks, config);
+        let linear = simulate_demand_reference(&platform, &tasks, config);
+        // Bit-identical, not approximately equal: both schedulers must
+        // perform the same float additions in the same order.
+        prop_assert_eq!(heap, linear);
+    }
+
+    #[test]
+    fn heap_scheduler_matches_linear_reference_under_ties(
+        n_workers in 1usize..9,
+        // Quantized work units over few distinct values on a homogeneous
+        // platform: free times collide constantly, exercising the
+        // smallest-id tie-break on both sides.
+        works in proptest::collection::vec(1u8..4, 0..60),
+        include_comm in any::<bool>(),
+    ) {
+        let platform = Platform::homogeneous(n_workers, 1.0, 1.0).unwrap();
+        let tasks: Vec<DemandTask> = works
+            .iter()
+            .map(|&w| DemandTask::new(1.0, w as f64))
+            .collect();
+        let config = DemandConfig { include_comm, ..Default::default() };
+        let heap = simulate_demand(&platform, &tasks, config);
+        let linear = simulate_demand_reference(&platform, &tasks, config);
+        prop_assert_eq!(heap, linear);
     }
 }

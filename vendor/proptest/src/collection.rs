@@ -37,7 +37,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
