@@ -1,30 +1,49 @@
 //! Hot-path kernels vs their executable specifications, with a JSON
 //! trajectory emitter.
 //!
-//! The two kernels that dominate reproduction wall-clock (ROADMAP perf
-//! items, landed together with this bench):
+//! The kernels that dominate reproduction wall-clock (ROADMAP perf
+//! items):
 //!
 //! * `simulate_demand` — binary-heap scheduler vs the linear per-task
 //!   worker scan (`simulate_demand_reference`), at Figure-4 scale
 //!   (512 workers × 10 000 tasks);
 //! * the PERI-SUM DP — dominance-pruned `PeriSumDp` vs the full `O(p²)`
 //!   suffix scan (`peri_sum_partition_reference`), at the top of the
-//!   partition-quality sweep (p = 512).
+//!   partition-quality sweep (p = 512);
+//! * `multiload` round-robin — the heap chunk dispatcher of
+//!   `dlt-multiload` vs its linear worker-scan reference, on a contended
+//!   many-load batch.
 //!
 //! Besides the criterion groups, the run re-times each pair directly and
 //! writes `BENCH_hotpaths.json` (override the path with
 //! `DLT_BENCH_JSON`): one record per kernel with baseline/optimized
 //! nanoseconds and the speedup. CI uploads the file as an artifact so the
 //! perf trajectory of future PRs stays diffable; the committed copy holds
-//! the numbers quoted in CHANGES.md.
+//! the numbers quoted in CHANGES.md, and the `bench-guard` binary fails
+//! CI when a fresh measurement regresses a committed speedup by more
+//! than 2×.
+//!
+//! Set `DLT_BENCH_SMOKE=1` to skip the criterion groups and emit the JSON
+//! from fewer repetitions — the CI regression-guard mode, which keeps the
+//! bench job fast while still producing comparable speedup ratios.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlt_bench::BENCH_SEED;
+use dlt_multiload::{
+    round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, LoadSpec,
+    MultiLoadConfig,
+};
 use dlt_partition::{peri_sum_partition_reference, PeriSumDp};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
 use dlt_sim::{simulate_demand, simulate_demand_reference, DemandConfig, DemandTask};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// True when the run is the CI smoke/guard mode: criterion groups are
+/// skipped and the JSON emitter uses fewer repetitions.
+fn smoke_mode() -> bool {
+    std::env::var_os("DLT_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
 
 /// Figure-4-scale demand instance: `p` workers from the paper's uniform
 /// profile, `t` tasks with mildly varied data/work so the dispatch order
@@ -46,7 +65,43 @@ fn partition_weights(p: usize) -> Vec<f64> {
         .speeds()
 }
 
+/// Contended multi-load batch: `loads` α-power loads with staggered
+/// releases on a `p`-worker uniform-profile platform, `chunks` chunks
+/// each.
+///
+/// The stretch denominators (`alone`) are unit placeholders: the real
+/// values come from per-load nested-bisection solves
+/// (`alone_makespans`, seconds of setup at this scale) and are copied
+/// verbatim into the report without influencing a single dispatch
+/// decision — the bench compares the *dispatch* kernels.
+fn multiload_instance(
+    p: usize,
+    loads: usize,
+    chunks: usize,
+) -> (Platform, Vec<LoadSpec>, MultiLoadConfig, Vec<f64>) {
+    let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let batch: Vec<LoadSpec> = (0..loads)
+        .map(|j| {
+            let size = 500.0 + 37.0 * (j % 11) as f64;
+            let alpha = 1.0 + 0.25 * (j % 5) as f64;
+            let release = 3.0 * (j % 7) as f64;
+            LoadSpec::new(size, alpha, release).unwrap()
+        })
+        .collect();
+    let config = MultiLoadConfig {
+        chunks_per_load: chunks,
+        include_comm: false,
+    };
+    let alone = vec![1.0; batch.len()];
+    (platform, batch, config, alone)
+}
+
 fn bench_demand(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
     let mut group = c.benchmark_group("simulate_demand");
     for &(p, t) in &[(64usize, 2_000usize), (512, 10_000)] {
         let (platform, tasks) = demand_instance(p, t);
@@ -74,6 +129,9 @@ fn bench_demand(c: &mut Criterion) {
 }
 
 fn bench_peri_sum(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
     let mut group = c.benchmark_group("peri_sum_dp");
     for &p in &[64usize, 512] {
         let w = partition_weights(p);
@@ -83,6 +141,40 @@ fn bench_peri_sum(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("full_reference", p), &p, |b, _| {
             b.iter(|| peri_sum_partition_reference(black_box(&w)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiload(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("multiload");
+    for &(p, loads, chunks) in &[(64usize, 16usize, 64usize), (512, 64, 128)] {
+        let (platform, batch, config, alone) = multiload_instance(p, loads, chunks);
+        let id = format!("p{p}_l{loads}_c{chunks}");
+        group.bench_with_input(BenchmarkId::new("rr_heap", &id), &p, |b, _| {
+            b.iter(|| {
+                round_robin_schedule_with_alone(
+                    black_box(&platform),
+                    black_box(&batch),
+                    &config,
+                    &alone,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rr_linear_reference", &id), &p, |b, _| {
+            b.iter(|| {
+                round_robin_schedule_reference_with_alone(
+                    black_box(&platform),
+                    black_box(&batch),
+                    &config,
+                    &alone,
+                )
+                .unwrap()
+            })
         });
     }
     group.finish();
@@ -105,15 +197,37 @@ fn emit_json(c: &mut Criterion) {
     // Touch the harness handle so the signature matches criterion_group!.
     let _ = c;
 
+    // Smoke mode (CI regression guard) divides the repetition counts:
+    // min-of-reps stays a stable point estimate, and only the *ratio*
+    // baseline/optimized is compared — against a 2× tolerance.
+    let reps = |full: usize| {
+        if smoke_mode() {
+            (full / 5).max(3)
+        } else {
+            full
+        }
+    };
+
     let (platform, tasks) = demand_instance(512, 10_000);
     let config = DemandConfig::default();
-    let sim_base = time_min_ns(10, || simulate_demand_reference(&platform, &tasks, config));
-    let sim_opt = time_min_ns(50, || simulate_demand(&platform, &tasks, config));
+    let sim_base = time_min_ns(reps(10), || {
+        simulate_demand_reference(&platform, &tasks, config)
+    });
+    let sim_opt = time_min_ns(reps(50), || simulate_demand(&platform, &tasks, config));
 
     let w = partition_weights(512);
-    let dp_base = time_min_ns(50, || peri_sum_partition_reference(&w).unwrap());
+    let dp_base = time_min_ns(reps(50), || peri_sum_partition_reference(&w).unwrap());
     let mut ws = PeriSumDp::new();
-    let dp_opt = time_min_ns(200, || ws.partition(&w).unwrap());
+    let dp_opt = time_min_ns(reps(200), || ws.partition(&w).unwrap());
+
+    let (ml_platform, ml_batch, ml_config, ml_alone) = multiload_instance(512, 64, 128);
+    let ml_base = time_min_ns(reps(10), || {
+        round_robin_schedule_reference_with_alone(&ml_platform, &ml_batch, &ml_config, &ml_alone)
+            .unwrap()
+    });
+    let ml_opt = time_min_ns(reps(50), || {
+        round_robin_schedule_with_alone(&ml_platform, &ml_batch, &ml_config, &ml_alone).unwrap()
+    });
 
     let record = |name: &str, config: &str, baseline: &str, optimized: &str, b: f64, o: f64| {
         format!(
@@ -125,7 +239,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -142,6 +256,14 @@ fn emit_json(c: &mut Criterion) {
             dp_base,
             dp_opt,
         ),
+        record(
+            "multiload_round_robin",
+            "p=512, loads=64, chunks=128, uniform profile",
+            "linear per-chunk worker scan (round_robin_schedule_reference)",
+            "binary-heap chunk dispatcher (round_robin_schedule)",
+            ml_base,
+            ml_opt,
+        ),
     );
     // Bench binaries run with CWD = crates/bench; default to the
     // workspace root so the trajectory file lands next to CHANGES.md.
@@ -156,11 +278,18 @@ fn emit_json(c: &mut Criterion) {
         ),
     }
     eprintln!(
-        "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x",
+        "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x",
         sim_base / sim_opt,
-        dp_base / dp_opt
+        dp_base / dp_opt,
+        ml_base / ml_opt
     );
 }
 
-criterion_group!(benches, bench_demand, bench_peri_sum, emit_json);
+criterion_group!(
+    benches,
+    bench_demand,
+    bench_peri_sum,
+    bench_multiload,
+    emit_json
+);
 criterion_main!(benches);

@@ -15,6 +15,7 @@
 use dlt_experiments::affinity::run_affinity;
 use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
 use dlt_experiments::footprint::run_fig2;
+use dlt_experiments::multiload::{multiload_table, run_multiload, DEFAULT_ALPHAS};
 use dlt_experiments::partition_quality::run_partition_quality;
 use dlt_experiments::rho::run_rho_table;
 use dlt_experiments::runner::{parse_flags, thread_count, write_and_print};
@@ -110,6 +111,29 @@ fn main() {
     for profile in SpeedDistribution::paper_profiles() {
         let t = run_partition_quality(part_ps, &profile, part_trials, seed, threads);
         write_and_print(&t, &format!("partition_quality_{}", profile.name()));
+    }
+
+    println!("== Extension: multi-load scheduling (FIFO vs round-robin) ==");
+    for profile in SpeedDistribution::paper_profiles() {
+        let (ml_p, ml_n, ml_chunks) = if smoke {
+            (4, 100.0, 4)
+        } else {
+            (16, 1000.0, 32)
+        };
+        let ml_loads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+        let pts = run_multiload(
+            &profile,
+            ml_p,
+            ml_loads,
+            &DEFAULT_ALPHAS,
+            ml_n,
+            ml_chunks,
+            part_trials,
+            seed,
+            threads,
+        );
+        let t = multiload_table(profile.name(), ml_p, &pts);
+        write_and_print(&t, &format!("multiload_{}", profile.name()));
     }
 
     println!("== Extension: affinity-aware dispatch (paper's conclusion) ==");

@@ -1,0 +1,58 @@
+//! Multi-load scheduling sweep: `cargo run --release -p dlt-experiments
+//! --bin multiload -- [homogeneous|uniform|lognormal|all] [--p P]
+//! [--trials T] [--n BASE_SIZE] [--chunks C] [--seed S] [--threads W]`.
+//!
+//! For each profile, sweeps load count × nonlinearity exponent with both
+//! the FIFO/installment scheduler and the round-robin interleaved
+//! scheduler of `dlt-multiload`, printing the table and writing
+//! `results/multiload_<profile>.csv`. Results are byte-identical for
+//! every `--threads` value.
+
+use dlt_experiments::multiload::{
+    multiload_table, run_multiload, DEFAULT_ALPHAS, DEFAULT_BASE_SIZE, DEFAULT_CHUNKS,
+    DEFAULT_LOAD_COUNTS, DEFAULT_P,
+};
+use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
+use dlt_platform::SpeedDistribution;
+
+fn main() {
+    let flags = parse_flags(std::env::args().skip(1));
+    let profile_arg = flags
+        .get("")
+        .and_then(|v| v.first())
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let p: usize = flag_or(&flags, "p", DEFAULT_P);
+    let trials: usize = flag_or(&flags, "trials", 50);
+    let base_size: f64 = flag_or(&flags, "n", DEFAULT_BASE_SIZE);
+    let chunks: usize = flag_or(&flags, "chunks", DEFAULT_CHUNKS);
+    let seed: u64 = flag_or(&flags, "seed", 42);
+    let threads = thread_count(&flags);
+
+    let profiles: Vec<SpeedDistribution> = if profile_arg == "all" {
+        SpeedDistribution::paper_profiles().to_vec()
+    } else {
+        vec![SpeedDistribution::from_profile_name(&profile_arg).unwrap_or_else(|e| panic!("{e}"))]
+    };
+
+    for profile in profiles {
+        let name = profile.name();
+        eprintln!(
+            "running multiload profile={name} p={p} trials={trials} n={base_size} \
+             chunks={chunks} seed={seed} threads={threads} ..."
+        );
+        let points = run_multiload(
+            &profile,
+            p,
+            &DEFAULT_LOAD_COUNTS,
+            &DEFAULT_ALPHAS,
+            base_size,
+            chunks,
+            trials,
+            seed,
+            threads,
+        );
+        let table = multiload_table(name, p, &points);
+        write_and_print(&table, &format!("multiload_{name}"));
+    }
+}

@@ -18,6 +18,7 @@
 //! | §4.1.3 ρ bounds | [`rho::run_rho_table`] | `rho-table` |
 //! | §4.1.2 partition quality | [`partition_quality::run_partition_quality`] | `partition-quality` |
 //! | Conclusion: affinity dispatch (extension) | [`affinity::run_affinity`] | `affinity` |
+//! | Multi-load scheduling (extension, Gallet–Robert–Vivien) | [`multiload::run_multiload`] | `multiload` |
 //!
 //! Every runner takes explicit seeds; the binaries default to the seeds
 //! used to produce the numbers quoted in `EXPERIMENTS.md`.
@@ -25,6 +26,7 @@
 pub mod affinity;
 pub mod fig4;
 pub mod footprint;
+pub mod multiload;
 pub mod partition_quality;
 pub mod rho;
 pub mod runner;

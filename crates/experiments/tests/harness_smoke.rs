@@ -2,9 +2,12 @@
 //! produce a well-formed table whose key invariants hold even at tiny
 //! trial counts (the full-scale numbers live in EXPERIMENTS.md).
 
-use dlt_experiments::{affinity, fig4, footprint, partition_quality, rho, sec2, sec3, traces};
+use dlt_experiments::{
+    affinity, fig4, footprint, multiload, partition_quality, rho, sec2, sec3, traces,
+};
+use dlt_multiload::SchedulerKind;
 use dlt_outer::Strategy;
-use dlt_platform::SpeedDistribution;
+use dlt_platform::{PlatformSpec, SpeedDistribution};
 
 #[test]
 fn fig4_runner_covers_every_point() {
@@ -84,6 +87,52 @@ fn affinity_table_improves_with_window() {
     let t = affinity::run_affinity(8, 512, &SpeedDistribution::paper_uniform(), &[1, 32], 3, 1);
     let shipped = t.column("shipped_over_lb_mean").unwrap();
     assert!(shipped[1] <= shipped[0] + 1e-9);
+}
+
+#[test]
+fn multiload_runner_covers_every_point() {
+    let pts = multiload::run_multiload(
+        &SpeedDistribution::paper_uniform(),
+        4,
+        &[1, 2],
+        &[1.0, 2.0],
+        200.0,
+        4,
+        2,
+        1,
+        2,
+    );
+    // (loads × alphas) × two schedulers.
+    assert_eq!(pts.len(), 2 * 2 * 2);
+    let table = multiload::multiload_table("uniform", 4, &pts);
+    assert_eq!(table.n_rows(), pts.len());
+    let csv = table.to_csv();
+    assert!(csv.contains("fifo") && csv.contains("round_robin"));
+}
+
+#[test]
+fn multiload_n1_reproduces_single_load_rows_bitwise() {
+    // Acceptance anchor: the `loads = 1` FIFO rows are the single-load
+    // solver, bit for bit — recompute the same platforms with
+    // `equal_finish_parallel` and compare the summarized cells exactly.
+    let profile = SpeedDistribution::paper_lognormal();
+    let (p, trials, seed, base, alpha) = (5usize, 4usize, 21u64, 500.0, 1.5);
+    let pts = multiload::run_multiload(&profile, p, &[1], &[alpha], base, 8, trials, seed, 2);
+    let fifo = pts
+        .iter()
+        .find(|pt| pt.scheduler == SchedulerKind::Fifo)
+        .unwrap();
+
+    let spec = PlatformSpec::new(p, profile);
+    let mut expect = dlt_stats::Summary::new();
+    for trial in 0..trials {
+        let platform = spec.generate_stream(seed, trial as u64).unwrap();
+        let direct = dlt_core::nonlinear::equal_finish_parallel(&platform, base, alpha).unwrap();
+        expect.push(direct.makespan);
+    }
+    assert_eq!(fifo.makespan.mean(), expect.mean());
+    assert_eq!(fifo.makespan.population_std(), expect.population_std());
+    assert_eq!(fifo.mean_stretch.mean(), 1.0);
 }
 
 #[test]
@@ -205,6 +254,31 @@ fn bin_fig4_smoke() {
         true,
     );
     assert!(out.contains("Commhet"));
+}
+
+#[test]
+fn bin_multiload_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_multiload"),
+        "multiload",
+        &[
+            "uniform",
+            "--p",
+            "4",
+            "--trials",
+            "1",
+            "--n",
+            "100",
+            "--chunks",
+            "4",
+            "--seed",
+            "1",
+            "--threads",
+            "2",
+        ],
+        true,
+    );
+    assert!(out.contains("fifo") && out.contains("round_robin"));
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! Error type of the multi-load schedulers.
+
+use dlt_core::DltError;
+
+/// Everything that can go wrong when scheduling a batch of loads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiLoadError {
+    /// The batch contained no loads.
+    EmptyBatch,
+    /// A load's size was not finite and positive.
+    InvalidSize {
+        /// The offending value.
+        value: f64,
+    },
+    /// A load's exponent was not finite or below 1.
+    InvalidAlpha {
+        /// The offending value.
+        value: f64,
+    },
+    /// A load's release time was negative or not finite.
+    InvalidRelease {
+        /// The offending value.
+        value: f64,
+    },
+    /// A chunk count of zero was requested.
+    ZeroChunks,
+    /// The underlying single-load solver failed.
+    Solver(DltError),
+}
+
+impl std::fmt::Display for MultiLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyBatch => write!(f, "the load batch is empty"),
+            Self::InvalidSize { value } => {
+                write!(f, "load size must be finite and > 0, got {value}")
+            }
+            Self::InvalidAlpha { value } => {
+                write!(f, "load exponent must be finite and >= 1, got {value}")
+            }
+            Self::InvalidRelease { value } => {
+                write!(f, "release time must be finite and >= 0, got {value}")
+            }
+            Self::ZeroChunks => write!(f, "chunks_per_load must be >= 1"),
+            Self::Solver(e) => write!(f, "single-load solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DltError> for MultiLoadError {
+    fn from(e: DltError) -> Self {
+        Self::Solver(e)
+    }
+}

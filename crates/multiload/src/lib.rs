@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # dlt-multiload
+//!
+//! Scheduling **several** divisible loads on one heterogeneous star
+//! platform — the multi-load setting of Gallet–Robert–Vivien and
+//! Wu–Cao–Robertazzi, grafted onto this reproduction's single-load
+//! machinery.
+//!
+//! A [`LoadSpec`] is one divisible load with its own size `N_j`,
+//! nonlinearity exponent `α_j` (cost `w_i · x^{α_j}` for `x` data units on
+//! worker `i`, as in [`dlt_core::nonlinear`]) and release time `r_j`. Two
+//! schedulers turn a batch of loads into a [`MultiLoadReport`]:
+//!
+//! * [`fifo::fifo_schedule`] — the FIFO/installment scheduler: loads are
+//!   served one at a time in release order, each through the existing
+//!   optimal single-round closed forms
+//!   ([`dlt_core::nonlinear::equal_finish_parallel`]). With a single load
+//!   released at time 0 this reproduces the single-load solver **bit for
+//!   bit** — the property tests pin that down.
+//! * [`round_robin::round_robin_schedule`] — the interleaved scheduler:
+//!   each load is chopped into equal chunks which are dispatched
+//!   round-robin across loads on the binary-heap free-worker machinery of
+//!   [`dlt_sim::simulate_demand`], respecting release times. A linear-scan
+//!   executable specification
+//!   ([`round_robin::round_robin_schedule_reference`]) is kept as the
+//!   property-test oracle and bench baseline, mirroring the
+//!   `simulate_demand` / `simulate_demand_reference` pair.
+//!
+//! Per-load metrics (start, finish, flow time, stretch) and aggregates
+//! (makespan, mean flow, mean/max stretch) live in [`metrics`]; the
+//! `multiload` binary of `dlt-experiments` sweeps them over load count,
+//! platform heterogeneity and nonlinearity.
+//!
+//! ```
+//! use dlt_multiload::{fifo_schedule, round_robin_schedule, LoadSpec, MultiLoadConfig};
+//! use dlt_platform::Platform;
+//!
+//! let platform = Platform::from_speeds(&[1.0, 2.0, 4.0]).unwrap();
+//! let loads = vec![
+//!     LoadSpec::new(100.0, 2.0, 0.0).unwrap(),
+//!     LoadSpec::new(50.0, 1.5, 1.0).unwrap(),
+//! ];
+//! let fifo = fifo_schedule(&platform, &loads).unwrap();
+//! let rr = round_robin_schedule(&platform, &loads, &MultiLoadConfig::default()).unwrap();
+//! assert!(fifo.report.makespan() > 0.0 && rr.report.makespan() > 0.0);
+//! assert!(fifo.report.aggregate().mean_stretch >= 1.0 - 1e-9);
+//! ```
+
+pub mod error;
+pub mod fifo;
+pub mod load;
+pub mod metrics;
+pub mod round_robin;
+
+pub use error::MultiLoadError;
+pub use fifo::{fifo_schedule, FifoOutcome};
+pub use load::{release_order, LoadSpec};
+pub use metrics::{AggregateMetrics, LoadMetrics, MultiLoadReport, SchedulerKind};
+pub use round_robin::{
+    alone_makespans, round_robin_schedule, round_robin_schedule_reference,
+    round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, ChunkExec,
+    MultiLoadConfig, RoundRobinOutcome,
+};

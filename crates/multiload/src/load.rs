@@ -1,0 +1,156 @@
+//! The multi-load problem instance: a batch of [`LoadSpec`]s.
+
+use crate::error::MultiLoadError;
+use dlt_core::nonlinear;
+use dlt_platform::Platform;
+
+/// One divisible load of a multi-load batch.
+///
+/// Processing `x` data units of this load on worker `i` costs
+/// `w_i · x^alpha` time (the α-power model of [`dlt_core::nonlinear`];
+/// `alpha = 1` is the classical linear load). The load becomes available
+/// for distribution at `release`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Total data units `N_j` of this load.
+    pub size: f64,
+    /// Nonlinearity exponent `α_j ≥ 1`.
+    pub alpha: f64,
+    /// Release time `r_j ≥ 0`: no byte of this load may be distributed or
+    /// processed before this instant.
+    pub release: f64,
+}
+
+impl LoadSpec {
+    /// Validated constructor.
+    pub fn new(size: f64, alpha: f64, release: f64) -> Result<Self, MultiLoadError> {
+        if !(size.is_finite() && size > 0.0) {
+            return Err(MultiLoadError::InvalidSize { value: size });
+        }
+        if !(alpha.is_finite() && alpha >= 1.0) {
+            return Err(MultiLoadError::InvalidAlpha { value: alpha });
+        }
+        if !(release.is_finite() && release >= 0.0) {
+            return Err(MultiLoadError::InvalidRelease { value: release });
+        }
+        Ok(Self {
+            size,
+            alpha,
+            release,
+        })
+    }
+
+    /// A load released at time 0.
+    pub fn immediate(size: f64, alpha: f64) -> Result<Self, MultiLoadError> {
+        Self::new(size, alpha, 0.0)
+    }
+
+    /// Total work `N_j^{α_j}` this load represents.
+    pub fn total_work(&self) -> f64 {
+        self.size.powf(self.alpha)
+    }
+
+    /// Makespan of this load **alone** on `platform`, released immediately:
+    /// the optimal single-round equal-finish-time makespan of
+    /// [`nonlinear::equal_finish_parallel`]. This is the denominator of the
+    /// stretch metric — how much a schedule dilates a load relative to
+    /// having the platform to itself.
+    pub fn alone_makespan(&self, platform: &Platform) -> Result<f64, MultiLoadError> {
+        Ok(nonlinear::equal_finish_parallel(platform, self.size, self.alpha)?.makespan)
+    }
+}
+
+/// Indices of `loads` sorted by non-decreasing release time, ties broken by
+/// index — the service order of the FIFO scheduler and the interleaving
+/// order of the round-robin scheduler. The sort is total (`f64::total_cmp`)
+/// and stable, so the order is deterministic.
+pub fn release_order(loads: &[LoadSpec]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by(|&a, &b| {
+        loads[a]
+            .release
+            .total_cmp(&loads[b].release)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Validates a batch: non-empty and every load individually valid.
+pub(crate) fn validate_batch(loads: &[LoadSpec]) -> Result<(), MultiLoadError> {
+    if loads.is_empty() {
+        return Err(MultiLoadError::EmptyBatch);
+    }
+    for l in loads {
+        // Re-run the constructor checks: specs can be built literally.
+        LoadSpec::new(l.size, l.alpha, l.release)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(LoadSpec::new(1.0, 1.0, 0.0).is_ok());
+        assert!(matches!(
+            LoadSpec::new(0.0, 2.0, 0.0),
+            Err(MultiLoadError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            LoadSpec::new(1.0, 0.5, 0.0),
+            Err(MultiLoadError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            LoadSpec::new(1.0, 2.0, -1.0),
+            Err(MultiLoadError::InvalidRelease { .. })
+        ));
+        assert!(LoadSpec::new(f64::NAN, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn release_order_is_stable_on_ties() {
+        let loads = vec![
+            LoadSpec::new(1.0, 1.0, 5.0).unwrap(),
+            LoadSpec::new(2.0, 1.0, 0.0).unwrap(),
+            LoadSpec::new(3.0, 1.0, 5.0).unwrap(),
+            LoadSpec::new(4.0, 1.0, 2.0).unwrap(),
+        ];
+        assert_eq!(release_order(&loads), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn total_work_is_power_law() {
+        let l = LoadSpec::immediate(10.0, 2.0).unwrap();
+        assert_eq!(l.total_work(), 100.0);
+        let lin = LoadSpec::immediate(10.0, 1.0).unwrap();
+        assert_eq!(lin.total_work(), 10.0);
+    }
+
+    #[test]
+    fn alone_makespan_matches_single_load_solver() {
+        let platform = Platform::from_speeds(&[1.0, 2.0]).unwrap();
+        let l = LoadSpec::immediate(20.0, 2.0).unwrap();
+        let direct = nonlinear::equal_finish_parallel(&platform, 20.0, 2.0)
+            .unwrap()
+            .makespan;
+        assert_eq!(l.alone_makespan(&platform).unwrap(), direct);
+    }
+
+    #[test]
+    fn batch_validation() {
+        assert!(matches!(
+            validate_batch(&[]),
+            Err(MultiLoadError::EmptyBatch)
+        ));
+        let bad = LoadSpec {
+            size: -1.0,
+            alpha: 2.0,
+            release: 0.0,
+        };
+        assert!(validate_batch(&[bad]).is_err());
+        let ok = LoadSpec::immediate(1.0, 1.5).unwrap();
+        assert!(validate_batch(&[ok]).is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the multi-load schedulers: conservation,
+//! release-time feasibility, heap-vs-reference bit-identity, and the
+//! `N = 1` degeneration to the single-load solvers.
+
+use dlt_core::nonlinear;
+use dlt_multiload::{
+    fifo_schedule, round_robin_schedule, round_robin_schedule_reference, LoadSpec, MultiLoadConfig,
+};
+use dlt_platform::Platform;
+use dlt_sim::{simulate_demand, DemandConfig, DemandTask};
+use proptest::prelude::*;
+
+/// Random heterogeneous platform (1–8 workers) and load batch (1–6 loads
+/// with mixed sizes, exponents and release times).
+fn instance() -> impl Strategy<Value = (Platform, Vec<LoadSpec>)> {
+    let speeds = proptest::collection::vec(0.2f64..10.0, 1..8);
+    let load = (0.5f64..200.0, 1.0f64..3.0, 0.0f64..50.0)
+        .prop_map(|(size, alpha, release)| LoadSpec::new(size, alpha, release).unwrap());
+    let loads = proptest::collection::vec(load, 1..6);
+    (speeds, loads).prop_map(|(speeds, loads)| (Platform::from_speeds(&speeds).unwrap(), loads))
+}
+
+/// Chunk counts worth exercising: degenerate (1) through fine-grained.
+fn chunk_count() -> impl Strategy<Value = usize> {
+    (0usize..40).prop_map(|c| c.max(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fifo_conserves_every_load((platform, loads) in instance()) {
+        let out = fifo_schedule(&platform, &loads).unwrap();
+        for (j, load) in loads.iter().enumerate() {
+            let shipped: f64 = out.shares[j].iter().sum();
+            prop_assert!((shipped - load.size).abs() < 1e-9 * load.size.max(1.0),
+                "load {j}: shipped {shipped} of {}", load.size);
+        }
+    }
+
+    #[test]
+    fn fifo_respects_release_times((platform, loads) in instance()) {
+        let out = fifo_schedule(&platform, &loads).unwrap();
+        for m in &out.report.per_load {
+            prop_assert!(m.start >= loads[m.load].release);
+            prop_assert!(m.finish > m.start);
+        }
+        // Consecutive installments never overlap.
+        let mut by_start: Vec<_> = out.report.per_load.clone();
+        by_start.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for w in by_start.windows(2) {
+            prop_assert!(w[1].start >= w[0].finish - 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_robin_conserves_total_volume(
+        (platform, loads) in instance(),
+        chunks in chunk_count(),
+        include_comm in any::<bool>(),
+    ) {
+        let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm };
+        let out = round_robin_schedule(&platform, &loads, &cfg).unwrap();
+        let shipped: f64 = out.comm_volume.iter().sum();
+        let total: f64 = loads.iter().map(|l| l.size).sum();
+        prop_assert!((shipped - total).abs() < 1e-9 * total.max(1.0));
+        // Every load contributes exactly chunks_per_load chunk executions.
+        let mut counts = vec![0usize; loads.len()];
+        for c in &out.chunk_log {
+            counts[c.load] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == chunks));
+    }
+
+    #[test]
+    fn round_robin_respects_release_times(
+        (platform, loads) in instance(),
+        chunks in chunk_count(),
+    ) {
+        let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm: false };
+        let out = round_robin_schedule(&platform, &loads, &cfg).unwrap();
+        for c in &out.chunk_log {
+            prop_assert!(c.start >= loads[c.load].release,
+                "chunk of load {} started {} before release {}",
+                c.load, c.start, loads[c.load].release);
+            prop_assert!(c.finish >= c.start);
+        }
+        for m in &out.report.per_load {
+            prop_assert!(m.start >= m.release);
+        }
+    }
+
+    #[test]
+    fn heap_dispatcher_matches_linear_reference(
+        (platform, loads) in instance(),
+        chunks in chunk_count(),
+        include_comm in any::<bool>(),
+    ) {
+        let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm };
+        let heap = round_robin_schedule(&platform, &loads, &cfg).unwrap();
+        let linear = round_robin_schedule_reference(&platform, &loads, &cfg).unwrap();
+        prop_assert_eq!(heap, linear);
+    }
+
+    #[test]
+    fn heap_matches_reference_on_tie_heavy_instances(
+        p in 1usize..6,
+        n_loads in 1usize..5,
+        chunks in 1usize..20,
+    ) {
+        // Homogeneous platform + identical loads: every dispatch decision
+        // is a free-time tie, the harshest determinism check.
+        let platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+        let loads = vec![LoadSpec::immediate(12.0, 2.0).unwrap(); n_loads];
+        let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm: false };
+        let heap = round_robin_schedule(&platform, &loads, &cfg).unwrap();
+        let linear = round_robin_schedule_reference(&platform, &loads, &cfg).unwrap();
+        prop_assert_eq!(heap, linear);
+    }
+
+    #[test]
+    fn single_immediate_load_fifo_is_the_single_load_solver(
+        speeds in proptest::collection::vec(0.2f64..10.0, 1..8),
+        size in 0.5f64..500.0,
+        alpha in 1.0f64..3.0,
+    ) {
+        let platform = Platform::from_speeds(&speeds).unwrap();
+        let load = LoadSpec::immediate(size, alpha).unwrap();
+        let out = fifo_schedule(&platform, &[load]).unwrap();
+        let direct = nonlinear::equal_finish_parallel(&platform, size, alpha).unwrap();
+        // Bitwise equality: N = 1 must take exactly the single-load path.
+        prop_assert_eq!(out.report.makespan(), direct.makespan);
+        prop_assert_eq!(&out.shares[0], &direct.x);
+        prop_assert_eq!(out.report.per_load[0].start, 0.0);
+    }
+
+    #[test]
+    fn single_immediate_load_round_robin_is_simulate_demand(
+        speeds in proptest::collection::vec(0.2f64..10.0, 1..8),
+        size in 0.5f64..500.0,
+        alpha in 1.0f64..3.0,
+        chunks in 1usize..40,
+        include_comm in any::<bool>(),
+    ) {
+        let platform = Platform::from_speeds(&speeds).unwrap();
+        let load = LoadSpec::immediate(size, alpha).unwrap();
+        let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm };
+        let out = round_robin_schedule(&platform, &[load], &cfg).unwrap();
+
+        let d = size / chunks as f64;
+        let tasks = vec![DemandTask::new(d, d.powf(alpha)); chunks];
+        let demand = simulate_demand(
+            &platform,
+            &tasks,
+            DemandConfig { include_comm, ..Default::default() },
+        );
+        // The heap machineries agree bit for bit.
+        prop_assert_eq!(&out.report.worker_finish, &demand.finish_times);
+        prop_assert_eq!(&out.comm_volume, &demand.comm_volume);
+    }
+
+    #[test]
+    fn stretch_is_at_least_one_under_fifo((platform, loads) in instance()) {
+        let out = fifo_schedule(&platform, &loads).unwrap();
+        for m in &out.report.per_load {
+            prop_assert!(m.stretch() >= 1.0 - 1e-12, "stretch {}", m.stretch());
+        }
+        let agg = out.report.aggregate_with_loads(&loads);
+        prop_assert!(agg.max_stretch >= agg.mean_stretch);
+        prop_assert!((agg.total_data - loads.iter().map(|l| l.size).sum::<f64>()).abs() < 1e-12
+            * agg.total_data.max(1.0));
+    }
+}

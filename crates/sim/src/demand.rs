@@ -129,9 +129,15 @@ fn dispatch_order(tasks: &[DemandTask], policy: DemandPolicy) -> Vec<usize> {
     order
 }
 
-/// Time worker `w` is occupied by `task` under `config`.
+/// Time worker `w` is occupied by `task` under `config`: compute time,
+/// plus the transfer time when [`DemandConfig::include_comm`] is set.
+///
+/// Public because downstream schedulers built on the same free-worker
+/// machinery (e.g. `dlt-multiload`'s round-robin chunk dispatcher) must
+/// use **this exact arithmetic** — operation order included — to stay
+/// bit-identical with [`simulate_demand`] on equivalent task streams.
 #[inline]
-fn occupancy(platform: &Platform, w: usize, task: DemandTask, config: DemandConfig) -> f64 {
+pub fn occupancy(platform: &Platform, w: usize, task: DemandTask, config: DemandConfig) -> f64 {
     let worker = platform.worker(w);
     let mut busy = worker.compute_time(task.work);
     if config.include_comm {
@@ -159,6 +165,9 @@ pub fn simulate_demand(
     tasks: &[DemandTask],
     config: DemandConfig,
 ) -> DemandReport {
+    if let Some(report) = round_robin_fill(platform, tasks, config) {
+        return report;
+    }
     let p = platform.len();
 
     // Min-heap of (free_time, worker id).
@@ -184,6 +193,68 @@ pub fn simulate_demand(
         finish_times: finish,
         comm_volume: volume,
     }
+}
+
+/// Closed-form round-robin fill for the fully identical case (the ROADMAP
+/// batch-scheduler item): when every task is the same **and** every worker
+/// is occupied for the same (bitwise) time per task, the heap dispatch
+/// degenerates to an exact round-robin — worker `w` takes tasks
+/// `w, w+p, w+2p, …` — because every decision is a free-time tie broken by
+/// worker id. This is precisely the `hom_blocks_abstract` workload on the
+/// paper's homogeneous profile (identical blocks, identical speeds), where
+/// skipping the heap removes the `O(log p)` per task.
+///
+/// Bit-identity with the heap path is non-negotiable (the Figure 4 CSVs
+/// for the homogeneous profile flow through here), so the fill replays the
+/// heap's arithmetic exactly: per-worker finish times and volumes are
+/// accumulated by repeated addition — `k` additions of `occ`, **not**
+/// `k · occ`, which differs in ulps — and the per-task occupancy is
+/// recomputed once, just as the heap recomputes it per task. Returns
+/// `None` (fall through to the heap) whenever any precondition fails.
+fn round_robin_fill(
+    platform: &Platform,
+    tasks: &[DemandTask],
+    config: DemandConfig,
+) -> Option<DemandReport> {
+    let p = platform.len();
+    let first = *tasks.first()?;
+    debug_assert!(first.data >= 0.0 && first.work >= 0.0);
+    if tasks.iter().any(|t| *t != first) {
+        return None;
+    }
+    // With identical tasks both policies dispatch in input order
+    // (LargestFirst's sort is stable), so only the occupancies matter.
+    let occ = occupancy(platform, 0, first, config);
+    if (1..p).any(|w| occupancy(platform, w, first, config) != occ) {
+        return None;
+    }
+    // Zero occupancy is NOT round-robin under the heap: a dispatched
+    // worker is re-pushed at the same free time, keeps winning the id
+    // tie-break, and takes every remaining task. Let the heap handle it.
+    if occ == 0.0 {
+        return None;
+    }
+    let mut assignments = vec![Vec::new(); p];
+    let mut finish = vec![0.0f64; p];
+    let mut volume = vec![0.0f64; p];
+    for (w, (assigned, (fin, vol))) in assignments
+        .iter_mut()
+        .zip(finish.iter_mut().zip(&mut volume))
+        .enumerate()
+    {
+        let mut idx = w;
+        while idx < tasks.len() {
+            assigned.push(idx);
+            *fin += occ;
+            *vol += first.data;
+            idx += p;
+        }
+    }
+    Some(DemandReport {
+        assignments,
+        finish_times: finish,
+        comm_volume: volume,
+    })
 }
 
 /// Executable specification of [`simulate_demand`]: the original
@@ -234,9 +305,15 @@ pub fn simulate_demand_reference(
     }
 }
 
-/// Total order on finite f64 for the scheduler heap.
+/// Total order on finite f64 for the scheduler heap (via
+/// [`f64::total_cmp`]).
+///
+/// Public for downstream schedulers that must replicate the heap's
+/// `(free_time, worker id)` tie-breaking exactly (see
+/// `dlt-multiload`); sharing the type keeps the total order a single
+/// definition instead of two copies that could drift.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
+pub struct OrdF64(pub f64);
 
 impl Eq for OrdF64 {}
 impl PartialOrd for OrdF64 {
@@ -395,6 +472,79 @@ mod tests {
         let tasks = uniform_tasks(4, 2.5, 1.0);
         let r = simulate_demand(&platform, &tasks, DemandConfig::default());
         assert_eq!(r.total_comm(), 10.0);
+    }
+
+    #[test]
+    fn round_robin_fill_matches_heap_on_homogeneous_platform() {
+        // Identical tasks + identical occupancies: the closed-form fill is
+        // active and must be bit-identical to the linear-scan reference
+        // (which never takes the fast path).
+        let platform = Platform::homogeneous(3, 1.5, 0.5).unwrap();
+        for count in [1usize, 2, 3, 7, 100] {
+            for config in [
+                DemandConfig::default(),
+                DemandConfig {
+                    include_comm: true,
+                    ..Default::default()
+                },
+                DemandConfig {
+                    policy: DemandPolicy::LargestFirst,
+                    ..Default::default()
+                },
+            ] {
+                let tasks = uniform_tasks(count, 2.5, 3.25);
+                let fast = simulate_demand(&platform, &tasks, config);
+                let reference = simulate_demand_reference(&platform, &tasks, config);
+                assert_eq!(fast, reference, "count {count} config {config:?}");
+                // The fill really is round-robin.
+                for (w, assigned) in fast.assignments.iter().enumerate() {
+                    for (k, &idx) in assigned.iter().enumerate() {
+                        assert_eq!(idx, w + k * platform.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_fill_skipped_on_heterogeneous_occupancies() {
+        // Identical tasks but distinct speeds: the heap must stay in
+        // charge (the fast worker takes more than a round-robin share).
+        let platform = Platform::from_speeds(&[1.0, 4.0]).unwrap();
+        let tasks = uniform_tasks(10, 1.0, 1.0);
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(
+            r,
+            simulate_demand_reference(&platform, &tasks, DemandConfig::default())
+        );
+        assert!(r.task_counts()[1] > r.task_counts()[0]);
+    }
+
+    #[test]
+    fn zero_occupancy_tasks_all_land_on_worker_zero() {
+        // Regression: with occ = 0 the heap re-pops the same worker (it
+        // keeps winning the free-time/id tie), so the round-robin fill
+        // must NOT engage — worker 0 takes everything, like the
+        // reference.
+        let platform = Platform::homogeneous(2, 1.0, 1.0).unwrap();
+        let tasks = uniform_tasks(4, 1.0, 0.0);
+        let heap = simulate_demand(&platform, &tasks, DemandConfig::default());
+        let linear = simulate_demand_reference(&platform, &tasks, DemandConfig::default());
+        assert_eq!(heap, linear);
+        assert_eq!(heap.assignments[0], vec![0, 1, 2, 3]);
+        assert_eq!(heap.comm_volume, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn round_robin_fill_skipped_on_mixed_tasks() {
+        let platform = Platform::homogeneous(2, 1.0, 1.0).unwrap();
+        let mut tasks = uniform_tasks(5, 1.0, 1.0);
+        tasks.push(DemandTask::new(1.0, 9.0));
+        let r = simulate_demand(&platform, &tasks, DemandConfig::default());
+        assert_eq!(
+            r,
+            simulate_demand_reference(&platform, &tasks, DemandConfig::default())
+        );
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod schedule;
 pub mod star;
 
 pub use demand::{
-    simulate_demand, simulate_demand_reference, DemandConfig, DemandPolicy, DemandReport,
-    DemandTask,
+    occupancy, simulate_demand, simulate_demand_reference, DemandConfig, DemandPolicy,
+    DemandReport, DemandTask, OrdF64,
 };
 pub use gantt::{ascii_gantt, TraceEvent, TraceKind};
 pub use metrics::{imbalance, utilization};

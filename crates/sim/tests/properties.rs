@@ -144,4 +144,31 @@ proptest! {
         let linear = simulate_demand_reference(&platform, &tasks, config);
         prop_assert_eq!(heap, linear);
     }
+
+    #[test]
+    fn round_robin_fill_is_bit_identical_on_identical_instances(
+        n_workers in 1usize..10,
+        speed in 0.1f64..20.0,
+        cost in 0.0f64..5.0,
+        n_tasks in 0usize..120,
+        data in 0.0f64..10.0,
+        work in 0.0f64..10.0,
+        include_comm in any::<bool>(),
+        largest_first in any::<bool>(),
+    ) {
+        // Homogeneous platform + identical tasks: this is exactly the
+        // precondition of the closed-form round-robin fill inside
+        // simulate_demand, so the fast path is active and must reproduce
+        // the linear-scan reference (which never takes it) bit for bit —
+        // finish times and volumes included, ulp for ulp.
+        let platform = Platform::homogeneous(n_workers, speed, cost.max(1e-6)).unwrap();
+        let tasks = vec![DemandTask::new(data, work); n_tasks];
+        let config = DemandConfig {
+            policy: if largest_first { DemandPolicy::LargestFirst } else { DemandPolicy::Fifo },
+            include_comm,
+        };
+        let fast = simulate_demand(&platform, &tasks, config);
+        let linear = simulate_demand_reference(&platform, &tasks, config);
+        prop_assert_eq!(fast, linear);
+    }
 }

@@ -32,6 +32,8 @@
 //! * [`linalg`] — dense GEMM / outer-product kernels;
 //! * [`outer`] — the `Commhom` / `Commhom/k` / `Commhet` strategies and
 //!   the SUMMA-style matrix-multiplication accounting;
+//! * [`multiload`] — FIFO and round-robin schedulers for batches of
+//!   divisible loads with release times, plus flow/stretch metrics;
 //! * [`stats`] — summaries, tables, ASCII plots;
 //! * [`experiments`] — runners that regenerate every paper figure/table.
 //!
@@ -61,6 +63,7 @@ pub use dlt_core as dlt;
 pub use dlt_experiments as experiments;
 pub use dlt_linalg as linalg;
 pub use dlt_mapreduce as mapreduce;
+pub use dlt_multiload as multiload;
 pub use dlt_outer as outer;
 pub use dlt_partition as partition;
 pub use dlt_platform as platform;
