@@ -12,7 +12,11 @@
 //!   partition-quality sweep (p = 512);
 //! * `multiload` round-robin — the heap chunk dispatcher of
 //!   `dlt-multiload` vs its linear worker-scan reference, on a contended
-//!   many-load batch.
+//!   many-load batch;
+//! * the `solver` group — the safeguarded-Newton + warm-start
+//!   `equal_finish_parallel` vs the nested-bisection oracle
+//!   (`equal_finish_parallel_reference`), on a FIFO-style sequence of
+//!   shrinking installments at p = 512 (the `dlt-multiload` hot path).
 //!
 //! Besides the criterion groups, the run re-times each pair directly and
 //! writes `BENCH_hotpaths.json` (override the path with
@@ -29,6 +33,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlt_bench::BENCH_SEED;
+use dlt_core::nonlinear;
 use dlt_multiload::{
     round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, LoadSpec,
     MultiLoadConfig,
@@ -96,6 +101,64 @@ fn multiload_instance(
     };
     let alone = vec![1.0; batch.len()];
     (platform, batch, config, alone)
+}
+
+/// FIFO-style solver workload: `installments` equal-finish solves of
+/// shrinking loads on one `p`-worker uniform-profile platform — exactly
+/// the sequence `dlt-multiload`'s FIFO scheduler and the stretch
+/// denominators of `alone_makespans` issue.
+fn solver_instance(p: usize, installments: usize) -> (Platform, Vec<f64>) {
+    let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let sizes = (0..installments)
+        .map(|j| 4096.0 * 0.8f64.powi(j as i32))
+        .collect();
+    (platform, sizes)
+}
+
+/// Runs the FIFO-style sequence through the Newton solver with one
+/// warm-start handle (the optimized configuration of `fifo_schedule`).
+fn solver_newton_warm(platform: &Platform, sizes: &[f64], alpha: f64) -> f64 {
+    let config = nonlinear::SolverConfig::default();
+    let mut warm = nonlinear::WarmStart::new();
+    let mut acc = 0.0;
+    for &n in sizes {
+        acc += nonlinear::equal_finish_parallel_with(platform, n, alpha, &config, &mut warm)
+            .unwrap()
+            .makespan;
+    }
+    acc
+}
+
+/// The same sequence through the nested-bisection oracle (no warm start —
+/// the seed implementation had none).
+fn solver_reference(platform: &Platform, sizes: &[f64], alpha: f64) -> f64 {
+    let mut acc = 0.0;
+    for &n in sizes {
+        acc += nonlinear::equal_finish_parallel_reference(platform, n, alpha)
+            .unwrap()
+            .makespan;
+    }
+    acc
+}
+
+fn bench_solver(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("solver");
+    for &(p, installments) in &[(64usize, 8usize), (512, 8)] {
+        let (platform, sizes) = solver_instance(p, installments);
+        let id = format!("p{p}_seq{installments}");
+        group.bench_with_input(BenchmarkId::new("newton_warm", &id), &p, |b, _| {
+            b.iter(|| solver_newton_warm(black_box(&platform), black_box(&sizes), 1.5))
+        });
+        group.bench_with_input(BenchmarkId::new("bisection_reference", &id), &p, |b, _| {
+            b.iter(|| solver_reference(black_box(&platform), black_box(&sizes), 1.5))
+        });
+    }
+    group.finish();
 }
 
 fn bench_demand(c: &mut Criterion) {
@@ -220,6 +283,12 @@ fn emit_json(c: &mut Criterion) {
     let mut ws = PeriSumDp::new();
     let dp_opt = time_min_ns(reps(200), || ws.partition(&w).unwrap());
 
+    let (sv_platform, sv_sizes) = solver_instance(512, 8);
+    let sv_base = time_min_ns(reps(10), || solver_reference(&sv_platform, &sv_sizes, 1.5));
+    let sv_opt = time_min_ns(reps(50), || {
+        solver_newton_warm(&sv_platform, &sv_sizes, 1.5)
+    });
+
     let (ml_platform, ml_batch, ml_config, ml_alone) = multiload_instance(512, 64, 128);
     let ml_base = time_min_ns(reps(10), || {
         round_robin_schedule_reference_with_alone(&ml_platform, &ml_batch, &ml_config, &ml_alone)
@@ -239,7 +308,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -264,6 +333,14 @@ fn emit_json(c: &mut Criterion) {
             ml_base,
             ml_opt,
         ),
+        record(
+            "solver_equal_finish",
+            "p=512, 8 shrinking installments, alpha=1.5, uniform profile",
+            "nested bisection (equal_finish_parallel_reference)",
+            "safeguarded Newton + warm start (equal_finish_parallel_with)",
+            sv_base,
+            sv_opt,
+        ),
     );
     // Bench binaries run with CWD = crates/bench; default to the
     // workspace root so the trajectory file lands next to CHANGES.md.
@@ -278,10 +355,12 @@ fn emit_json(c: &mut Criterion) {
         ),
     }
     eprintln!(
-        "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x",
+        "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x, \
+         solver_equal_finish {:.1}x",
         sim_base / sim_opt,
         dp_base / dp_opt,
-        ml_base / ml_opt
+        ml_base / ml_opt,
+        sv_base / sv_opt
     );
 }
 
@@ -290,6 +369,7 @@ criterion_group!(
     bench_demand,
     bench_peri_sum,
     bench_multiload,
+    bench_solver,
     emit_json
 );
 criterion_main!(benches);

@@ -24,6 +24,14 @@ fn bench_solvers(c: &mut Criterion) {
                 nonlinear::equal_finish_one_port(black_box(&platform), 4096.0, 2.0, None).unwrap()
             })
         });
+        // The nested-bisection oracles, for the Newton-vs-reference ratio
+        // at every scale (the `solver` hotpaths group records p = 512).
+        group.bench_with_input(BenchmarkId::new("parallel_reference", p), &p, |b, _| {
+            b.iter(|| {
+                nonlinear::equal_finish_parallel_reference(black_box(&platform), 4096.0, 2.0)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 

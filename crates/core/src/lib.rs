@@ -16,9 +16,12 @@
 //!   plus multi-installment schedules.
 //! * **Non-linear DLT** ([`nonlinear`]) — the α-power workloads
 //!   (`cost = w_i · x^α`, `α > 1`) studied by Hung & Robertazzi and Suresh
-//!   et al. (refs [31–35]): equal-finish-time allocations computed by
-//!   nested bisection, under both communication models. These are the
-//!   *baselines* whose asymptotic irrelevance the paper proves.
+//!   et al. (refs [31–35]): equal-finish-time allocations computed by a
+//!   safeguarded Newton solver with warm-startable outer brackets
+//!   ([`nonlinear::SolverConfig`], [`nonlinear::WarmStart`]), under both
+//!   communication models; the original nested bisection is kept as the
+//!   `*_reference` oracles. These are the *baselines* whose asymptotic
+//!   irrelevance the paper proves.
 //! * **The no-free-lunch analysis** ([`analysis`]) — Section 2's result:
 //!   a single DLT round of `N` data over `P` homogeneous workers executes
 //!   only `W_partial/W = 1/P^(α−1)` of the total work, so the remaining

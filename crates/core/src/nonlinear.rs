@@ -8,11 +8,18 @@
 //! the *work* performed in that round, `Σ (x_i)^α ≤ N^α / P^{α-1}` on a
 //! homogeneous platform, is a vanishing fraction of the total `N^α`.
 //!
-//! Solvers use nested bisection: the outer loop searches the common finish
-//! time `T`, the inner loop inverts the strictly monotone per-worker cost
-//! `c_i·x + w_i·x^α = T` (analytically when possible). Both the paper's
-//! parallel-communication model and the sequential one-port model of
-//! [33–35] are provided.
+//! Solvers use safeguarded Newton iterations at both levels: the outer
+//! loop finds the common finish time `T` with `Σ x_i(T) = N` by a
+//! derivative-driven root-finder that accepts a warm-start bracket
+//! ([`WarmStart`]) and falls back to bisection whenever a Newton step
+//! leaves the current bracket; the inner loop inverts the strictly
+//! monotone per-worker cost `c_i·x + w_i·x^α = T` by Newton descent from a
+//! closed-form upper bound (see `docs/solver.md` for the derivation and
+//! the convergence tolerances). The original nested bisection is kept,
+//! verbatim, as [`equal_finish_parallel_reference`] /
+//! [`equal_finish_one_port_reference`] — the property-tested oracles and
+//! the `solver` bench baseline. Both the paper's parallel-communication
+//! model and the sequential one-port model of [33–35] are provided.
 
 use crate::error::DltError;
 use dlt_platform::Platform;
@@ -64,6 +71,101 @@ impl NonlinearAllocation {
     }
 }
 
+/// Tunables of the equal-finish-time solvers.
+///
+/// The defaults drive both Newton levels to full `f64` precision; they are
+/// what [`equal_finish_parallel`] and [`equal_finish_one_port`] use. Relax
+/// `rel_tol` only when thousands of solves feed a statistic that cannot
+/// resolve the extra digits anyway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Relative width of the outer bracket on `T` at which the root
+    /// counts as found.
+    pub rel_tol: f64,
+    /// Relative residual `|Σ x_i − N| / N` at which the outer iteration
+    /// stops even before the bracket collapses (Newton often lands on the
+    /// root from one side without ever tightening the other).
+    pub residual_tol: f64,
+    /// Outer-iteration cap before [`DltError::NoConvergence`].
+    pub max_outer: usize,
+    /// Inner (per-worker Newton) iteration cap.
+    pub max_inner: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            rel_tol: f64::EPSILON,
+            residual_tol: 1e-13,
+            max_outer: 256,
+            max_inner: 64,
+        }
+    }
+}
+
+/// Reusable cross-solve state: seeds the outer bracket from the previous
+/// root.
+///
+/// Consecutive solves on the same (or a similar) platform — the FIFO
+/// installments of `dlt-multiload`, the per-load stretch denominators of
+/// `alone_makespans`, a sweep over α — have nearby finish times `T`. A
+/// handle threaded through [`equal_finish_parallel_with`] starts the next
+/// outer search at the previous root instead of at the worst-case
+/// single-worker bound, typically saving half the outer iterations.
+///
+/// The seed is only ever a *hint*: the solver probes it, keeps whichever
+/// side of the root it lands on, and expands geometrically when the seed
+/// no longer brackets the root — a stale handle can never change the root
+/// found, only the path to it (property-tested).
+///
+/// # Examples
+///
+/// ```
+/// use dlt_core::nonlinear::{equal_finish_parallel_with, SolverConfig, WarmStart};
+/// use dlt_platform::Platform;
+///
+/// let platform = Platform::from_speeds(&[1.0, 2.0, 4.0]).unwrap();
+/// let config = SolverConfig::default();
+/// let mut warm = WarmStart::default();
+/// // FIFO-style sequence of shrinking loads: each solve seeds the next.
+/// for n in [100.0, 80.0, 64.0] {
+///     let a = equal_finish_parallel_with(&platform, n, 2.0, &config, &mut warm).unwrap();
+///     assert!((a.x.iter().sum::<f64>() - n).abs() < 1e-9 * n);
+/// }
+/// assert!(warm.last().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WarmStart {
+    last_t: Option<f64>,
+}
+
+impl WarmStart {
+    /// A cold handle: the first solve through it behaves exactly like the
+    /// plain entry points.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle pre-seeded with a finish-time guess (e.g. a closed-form
+    /// estimate). Non-finite or non-positive seeds are ignored.
+    pub fn seeded(t: f64) -> Self {
+        let mut w = Self::default();
+        w.record(t);
+        w
+    }
+
+    /// The root of the last solve threaded through this handle, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.last_t
+    }
+
+    fn record(&mut self, t: f64) {
+        if t.is_finite() && t > 0.0 {
+            self.last_t = Some(t);
+        }
+    }
+}
+
 fn validate(n: f64, alpha: f64) -> Result<(), DltError> {
     if !(n.is_finite() && n > 0.0) {
         return Err(DltError::InvalidLoad { value: n });
@@ -74,11 +176,75 @@ fn validate(n: f64, alpha: f64) -> Result<(), DltError> {
     Ok(())
 }
 
-/// Solves `c·x + w·x^α = t` for `x ≥ 0` (strictly monotone LHS).
+// ---------------------------------------------------------------------------
+// Inner solve: c·x + w·x^α = t
+// ---------------------------------------------------------------------------
+
+/// Solves `c·x + w·x^α = t` for `x ≥ 0` by safeguarded Newton descent,
+/// returning `(x, dx/dt)` — the share and its sensitivity `1/f'(x)`, which
+/// the outer root-finder accumulates into its own derivative.
+///
+/// `f(x) = c·x + w·x^α − t` is convex and strictly increasing for
+/// `α ≥ 1`, and each single-term inverse is an upper bound on the root
+/// (`f(t/c) = w·(t/c)^α ≥ 0`, `f((t/w)^{1/α}) = c·(t/w)^{1/α} ≥ 0`), so
+/// Newton from `x₀ = min(t/c, (t/w)^{1/α})` descends monotonically onto
+/// the root — no doubling search needed. A bisection step replaces any
+/// iterate that leaves the bracket `[lo, hi]` maintained alongside (finite
+/// arithmetic can push Newton past the root near convergence).
+///
+/// Returns `(0, 0)` when `t ≤ 0` — in the one-port model a worker whose
+/// remaining window is exhausted gets nothing and contributes no slope.
+fn invert_cost_newton(c: f64, w: f64, alpha: f64, t: f64, max_inner: usize) -> (f64, f64) {
+    if t <= 0.0 {
+        return (0.0, 0.0);
+    }
+    if alpha == 1.0 {
+        // Linear degeneration: closed form, no iteration.
+        let d = c + w;
+        return (t / d, 1.0 / d);
+    }
+    let by_pow = (t / w).powf(1.0 / alpha);
+    let mut x = if c > 0.0 { (t / c).min(by_pow) } else { by_pow };
+    let (mut lo, mut hi) = (0.0f64, x);
+    let mut deriv = 0.0;
+    // At least one iteration always runs (powf is the whole cost of this
+    // function, so `deriv` is only ever computed inside the loop).
+    for _ in 0..max_inner.max(1) {
+        let xam1 = x.powf(alpha - 1.0);
+        deriv = c + alpha * w * xam1;
+        let fx = (c + w * xam1) * x - t;
+        // Residual at rounding level: the share is as converged as f64
+        // arithmetic can express it.
+        if fx.abs() <= 4.0 * f64::EPSILON * t {
+            break;
+        }
+        if fx < 0.0 {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        let newton = x - fx / deriv;
+        let next = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        let step = (next - x).abs();
+        x = next;
+        if step <= f64::EPSILON * x || hi - lo <= f64::EPSILON * hi {
+            break;
+        }
+    }
+    (x, 1.0 / deriv)
+}
+
+/// The original bisection inverse of `c·x + w·x^α = t` — the executable
+/// specification [`invert_cost_newton`] is property-tested against, and
+/// the inner loop of the `*_reference` solvers.
 ///
 /// Returns 0 when `t ≤ 0`. Uses bisection on `[0, hi]` where `hi` doubles
 /// until the residual flips sign; ~90 iterations give full f64 precision.
-fn invert_cost(c: f64, w: f64, alpha: f64, t: f64) -> f64 {
+fn invert_cost_reference(c: f64, w: f64, alpha: f64, t: f64) -> f64 {
     if t <= 0.0 {
         return 0.0;
     }
@@ -105,6 +271,10 @@ fn invert_cost(c: f64, w: f64, alpha: f64, t: f64) -> f64 {
     0.5 * (lo + hi)
 }
 
+// ---------------------------------------------------------------------------
+// Closed forms
+// ---------------------------------------------------------------------------
+
 /// Homogeneous closed form (Section 2): each of the `P` workers receives
 /// `N/P` and finishes at `c·N/P + w·(N/P)^α`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +291,17 @@ pub struct HomogeneousNonlinear {
 
 /// The trivial optimal allocation on a fully homogeneous platform
 /// (Section 2): ordering is irrelevant, everyone gets `N/P`.
+///
+/// # Examples
+///
+/// ```
+/// use dlt_core::nonlinear::homogeneous_allocation;
+///
+/// // 16 workers, quadratic load: one round does 1/16 of the work.
+/// let r = homogeneous_allocation(16, 1000.0, 2.0, 1.0, 1.0).unwrap();
+/// assert_eq!(r.per_worker, 1000.0 / 16.0);
+/// assert!((r.work_fraction - 1.0 / 16.0).abs() < 1e-12);
+/// ```
 pub fn homogeneous_allocation(
     p: usize,
     n: f64,
@@ -141,27 +322,82 @@ pub fn homogeneous_allocation(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Parallel communication model
+// ---------------------------------------------------------------------------
+
+/// `T` upper bound shared by every solver: give the whole load to the
+/// single best worker.
+fn t_single_worker_bound(platform: &Platform, n: f64, alpha: f64) -> f64 {
+    platform
+        .iter()
+        .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Equal-finish-time allocation under the parallel communication model:
 /// minimizes the makespan of distributing and processing `n` data units of
 /// an `x^α` workload over a heterogeneous platform.
+///
+/// Cold-start convenience wrapper around [`equal_finish_parallel_with`];
+/// callers that solve repeatedly on the same platform should thread a
+/// [`WarmStart`] handle through instead.
+///
+/// # Examples
+///
+/// ```
+/// use dlt_core::nonlinear::equal_finish_parallel;
+/// use dlt_platform::Platform;
+///
+/// let platform = Platform::from_speeds(&[1.0, 4.0]).unwrap();
+/// let alloc = equal_finish_parallel(&platform, 20.0, 2.0).unwrap();
+/// // The load is conserved and the faster worker gets the bigger share …
+/// assert!((alloc.x.iter().sum::<f64>() - 20.0).abs() < 1e-9);
+/// assert!(alloc.x[1] > alloc.x[0]);
+/// // … yet most of the N^α work remains: the paper's no-free-lunch claim.
+/// assert!(alloc.work_fraction_done() < 1.0);
+/// ```
 pub fn equal_finish_parallel(
     platform: &Platform,
     n: f64,
     alpha: f64,
 ) -> Result<NonlinearAllocation, DltError> {
+    equal_finish_parallel_with(
+        platform,
+        n,
+        alpha,
+        &SolverConfig::default(),
+        &mut WarmStart::new(),
+    )
+}
+
+/// [`equal_finish_parallel`] with explicit tunables and a warm-start
+/// handle. A cold handle reproduces the plain entry point bit for bit; a
+/// warm one seeds the outer bracket from the previous root (and is updated
+/// with this solve's root on success).
+pub fn equal_finish_parallel_with(
+    platform: &Platform,
+    n: f64,
+    alpha: f64,
+    config: &SolverConfig,
+    warm: &mut WarmStart,
+) -> Result<NonlinearAllocation, DltError> {
     validate(n, alpha)?;
-    let shares_at = |t: f64| -> Vec<f64> {
-        platform
+    let max_inner = config.max_inner;
+    let eval = |t: f64| -> (Vec<f64>, f64) {
+        let mut slope = 0.0;
+        let x = platform
             .iter()
-            .map(|p| invert_cost(p.inv_bandwidth(), p.w(), alpha, t))
-            .collect()
+            .map(|p| {
+                let (xi, dxi) = invert_cost_newton(p.inv_bandwidth(), p.w(), alpha, t, max_inner);
+                slope += dxi;
+                xi
+            })
+            .collect();
+        (x, slope)
     };
-    // T upper bound: give the whole load to the single best worker.
-    let t_hi_seed = platform
-        .iter()
-        .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
-        .fold(f64::INFINITY, f64::min);
-    let (t, x) = bisect_total(n, t_hi_seed, shares_at)?;
+    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let (t, x) = solve_total(n, t_hi_seed, config, warm, eval)?;
     Ok(NonlinearAllocation {
         x,
         makespan: t,
@@ -172,20 +408,42 @@ pub fn equal_finish_parallel(
     })
 }
 
-/// Equal-finish-time allocation under the sequential one-port model (the
-/// setting of refs [33–35]): the master sends chunk `σ(1)`, then `σ(2)`,
-/// etc.; worker `σ(k)` finishes at `Σ_{j≤k} c_{σ(j)} x_{σ(j)} +
-/// w_{σ(k)} x_{σ(k)}^α`. Defaults to serving workers by non-decreasing
-/// `c_i` when no order is given.
-pub fn equal_finish_one_port(
+/// The original nested-bisection solver for the parallel model, kept as
+/// the executable specification of [`equal_finish_parallel`]: the
+/// property tests bound the Newton solver to within `1e-9` relative error
+/// of this oracle, and the `solver` hotpaths bench group measures the
+/// Newton + warm-start speedup against it.
+pub fn equal_finish_parallel_reference(
     platform: &Platform,
     n: f64,
     alpha: f64,
-    order: Option<Vec<usize>>,
 ) -> Result<NonlinearAllocation, DltError> {
     validate(n, alpha)?;
+    let shares_at = |t: f64| -> Vec<f64> {
+        platform
+            .iter()
+            .map(|p| invert_cost_reference(p.inv_bandwidth(), p.w(), alpha, t))
+            .collect()
+    };
+    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let (t, x) = bisect_total_reference(n, t_hi_seed, shares_at)?;
+    Ok(NonlinearAllocation {
+        x,
+        makespan: t,
+        alpha,
+        n,
+        comm_mode: CommMode::Parallel,
+        order: (0..platform.len()).collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// One-port communication model
+// ---------------------------------------------------------------------------
+
+fn validate_order(order: Option<Vec<usize>>, platform: &Platform) -> Result<Vec<usize>, DltError> {
     let p = platform.len();
-    let order = match order {
+    match order {
         Some(o) => {
             let mut seen = vec![false; p];
             if o.len() != p
@@ -194,27 +452,89 @@ pub fn equal_finish_one_port(
             {
                 return Err(DltError::InvalidOrder);
             }
-            o
+            Ok(o)
         }
-        None => crate::linear::optimal_one_port_order(platform),
-    };
+        None => Ok(crate::linear::optimal_one_port_order(platform)),
+    }
+}
+
+/// Equal-finish-time allocation under the sequential one-port model (the
+/// setting of refs [33–35]): the master sends chunk `σ(1)`, then `σ(2)`,
+/// etc.; worker `σ(k)` finishes at `Σ_{j≤k} c_{σ(j)} x_{σ(j)} +
+/// w_{σ(k)} x_{σ(k)}^α`. Defaults to serving workers by non-decreasing
+/// `c_i` when no order is given.
+///
+/// Cold-start convenience wrapper around [`equal_finish_one_port_with`].
+///
+/// # Examples
+///
+/// ```
+/// use dlt_core::nonlinear::{equal_finish_one_port, equal_finish_parallel};
+/// use dlt_platform::Platform;
+///
+/// let platform = Platform::from_speeds_and_costs(&[1.0, 2.0], &[0.5, 0.25]).unwrap();
+/// let op = equal_finish_one_port(&platform, 30.0, 2.0, None).unwrap();
+/// assert!((op.x.iter().sum::<f64>() - 30.0).abs() < 1e-9);
+/// // Serializing the sends can never beat the parallel model.
+/// let par = equal_finish_parallel(&platform, 30.0, 2.0).unwrap();
+/// assert!(op.makespan >= par.makespan - 1e-9);
+/// ```
+pub fn equal_finish_one_port(
+    platform: &Platform,
+    n: f64,
+    alpha: f64,
+    order: Option<Vec<usize>>,
+) -> Result<NonlinearAllocation, DltError> {
+    equal_finish_one_port_with(
+        platform,
+        n,
+        alpha,
+        order,
+        &SolverConfig::default(),
+        &mut WarmStart::new(),
+    )
+}
+
+/// [`equal_finish_one_port`] with explicit tunables and a warm-start
+/// handle (see [`equal_finish_parallel_with`]).
+///
+/// The outer derivative follows the chain rule through the serialized
+/// sends: worker `σ(k)` sees the local window `s_k = t − Σ_{j<k} c_j x_j`,
+/// so `dx_k/dt = (1 − Σ_{j<k} c_j · dx_j/dt) / f'_k(x_k)`, accumulated in
+/// service order.
+pub fn equal_finish_one_port_with(
+    platform: &Platform,
+    n: f64,
+    alpha: f64,
+    order: Option<Vec<usize>>,
+    config: &SolverConfig,
+    warm: &mut WarmStart,
+) -> Result<NonlinearAllocation, DltError> {
+    validate(n, alpha)?;
+    let p = platform.len();
+    let order = validate_order(order, platform)?;
     let order_for_closure = order.clone();
-    let shares_at = move |t: f64| -> Vec<f64> {
+    let max_inner = config.max_inner;
+    let eval = move |t: f64| -> (Vec<f64>, f64) {
         let mut x = vec![0.0; p];
         let mut elapsed_comm = 0.0;
+        let mut elapsed_slope = 0.0;
+        let mut slope = 0.0;
         for &i in &order_for_closure {
             let worker = platform.worker(i);
-            let xi = invert_cost(worker.inv_bandwidth(), worker.w(), alpha, t - elapsed_comm);
+            let c = worker.inv_bandwidth();
+            let (xi, dxi_local) =
+                invert_cost_newton(c, worker.w(), alpha, t - elapsed_comm, max_inner);
+            let dxi_dt = dxi_local * (1.0 - elapsed_slope);
             x[i] = xi;
-            elapsed_comm += worker.inv_bandwidth() * xi;
+            elapsed_comm += c * xi;
+            elapsed_slope += c * dxi_dt;
+            slope += dxi_dt;
         }
-        x
+        (x, slope)
     };
-    let t_hi_seed = platform
-        .iter()
-        .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
-        .fold(f64::INFINITY, f64::min);
-    let (t, x) = bisect_total(n, t_hi_seed, shares_at)?;
+    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let (t, x) = solve_total(n, t_hi_seed, config, warm, eval)?;
     Ok(NonlinearAllocation {
         x,
         makespan: t,
@@ -225,8 +545,135 @@ pub fn equal_finish_one_port(
     })
 }
 
-/// Outer bisection: finds `T` such that `Σ shares_at(T) = n`.
-fn bisect_total<F>(n: f64, t_hi_seed: f64, shares_at: F) -> Result<(f64, Vec<f64>), DltError>
+/// The original nested-bisection solver for the one-port model — the
+/// oracle of [`equal_finish_one_port`] (see
+/// [`equal_finish_parallel_reference`]).
+pub fn equal_finish_one_port_reference(
+    platform: &Platform,
+    n: f64,
+    alpha: f64,
+    order: Option<Vec<usize>>,
+) -> Result<NonlinearAllocation, DltError> {
+    validate(n, alpha)?;
+    let p = platform.len();
+    let order = validate_order(order, platform)?;
+    let order_for_closure = order.clone();
+    let shares_at = move |t: f64| -> Vec<f64> {
+        let mut x = vec![0.0; p];
+        let mut elapsed_comm = 0.0;
+        for &i in &order_for_closure {
+            let worker = platform.worker(i);
+            let xi =
+                invert_cost_reference(worker.inv_bandwidth(), worker.w(), alpha, t - elapsed_comm);
+            x[i] = xi;
+            elapsed_comm += worker.inv_bandwidth() * xi;
+        }
+        x
+    };
+    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let (t, x) = bisect_total_reference(n, t_hi_seed, shares_at)?;
+    Ok(NonlinearAllocation {
+        x,
+        makespan: t,
+        alpha,
+        n,
+        comm_mode: CommMode::OnePort,
+        order,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Outer solve: Σ x_i(T) = n
+// ---------------------------------------------------------------------------
+
+/// Outer root-finder: finds `T` with `Σ shares(T) = n` by safeguarded
+/// Newton on the monotone total.
+///
+/// `eval(t)` returns the shares and the analytic slope `d(Σx)/dt`. The
+/// iteration maintains a bracket `[lo, hi]` around the root: a Newton step
+/// is accepted only when it lands strictly inside, otherwise the midpoint
+/// is taken (so the worst case degenerates to plain bisection, never
+/// divergence). The first probe is the warm-start seed when one is
+/// recorded, else the single-best-worker bound `t_hi_seed`; while no upper
+/// bound has been confirmed yet (`g < 0` everywhere so far, possible under
+/// a stale warm seed), the hunt doubles `t` unless Newton already jumps
+/// further right.
+///
+/// The returned shares are rescaled so they sum to exactly `n` (keeps
+/// downstream accounting clean); the returned `t` is the last evaluated
+/// iterate, whose residual is below `config.residual_tol · n`.
+fn solve_total<F>(
+    n: f64,
+    t_hi_seed: f64,
+    config: &SolverConfig,
+    warm: &mut WarmStart,
+    mut eval: F,
+) -> Result<(f64, Vec<f64>), DltError>
+where
+    F: FnMut(f64) -> (Vec<f64>, f64),
+{
+    let mut lo = 0.0f64;
+    let mut hi = f64::INFINITY;
+    let mut t = match warm.last() {
+        Some(seed) => seed,
+        None => t_hi_seed.max(1e-300),
+    };
+    for _ in 0..config.max_outer {
+        let (x, slope) = eval(t);
+        let g = x.iter().sum::<f64>() - n;
+        if g < 0.0 {
+            lo = t;
+        } else {
+            hi = t;
+        }
+        let bracket_tight = hi.is_finite() && hi - lo <= config.rel_tol * hi.max(1.0);
+        if g.abs() <= config.residual_tol * n || bracket_tight {
+            let mut x = x;
+            let s: f64 = x.iter().sum();
+            if s > 0.0 {
+                let scale = n / s;
+                for xi in &mut x {
+                    *xi *= scale;
+                }
+            }
+            warm.record(t);
+            return Ok((t, x));
+        }
+        let newton = if slope > 0.0 { t - g / slope } else { f64::NAN };
+        t = if hi.is_finite() {
+            if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            }
+        } else {
+            // Still hunting an upper bound (stale warm seed below the
+            // root): take the Newton step when it outruns doubling.
+            let doubled = (2.0 * t).max(t_hi_seed.max(1e-300));
+            if doubled > 1e300 {
+                return Err(DltError::NoConvergence {
+                    context: "outer upper-bound hunt",
+                });
+            }
+            if newton.is_finite() && newton > doubled {
+                newton
+            } else {
+                doubled
+            }
+        };
+    }
+    Err(DltError::NoConvergence {
+        context: "outer Newton iteration",
+    })
+}
+
+/// The original outer bisection (`Σ shares_at(T) = n`) — the outer loop of
+/// the `*_reference` oracles, unchanged from the seed implementation.
+fn bisect_total_reference<F>(
+    n: f64,
+    t_hi_seed: f64,
+    shares_at: F,
+) -> Result<(f64, Vec<f64>), DltError>
 where
     F: Fn(f64) -> Vec<f64>,
 {
@@ -273,21 +720,39 @@ mod tests {
     use super::*;
     use dlt_sim::simulate;
 
+    /// Relative distance, guarded for zero.
+    fn rel(a: f64, b: f64) -> f64 {
+        (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+    }
+
     #[test]
     fn invert_cost_roundtrip() {
         for &(c, w, alpha) in &[(1.0, 1.0, 2.0), (0.5, 2.0, 1.5), (0.0, 1.0, 3.0)] {
             for &x in &[0.1, 1.0, 7.3, 150.0] {
                 let t = c * x + w * f64::powf(x, alpha);
-                let back = invert_cost(c, w, alpha, t);
-                assert!((back - x).abs() < 1e-8 * x.max(1.0), "x={x} back={back}");
+                let (back, slope) = invert_cost_newton(c, w, alpha, t, 64);
+                assert!((back - x).abs() < 1e-10 * x.max(1.0), "x={x} back={back}");
+                assert!(slope > 0.0 && slope.is_finite());
+                let reference = invert_cost_reference(c, w, alpha, t);
+                assert!(rel(back, reference) < 1e-12, "{back} vs {reference}");
             }
         }
     }
 
     #[test]
     fn invert_cost_zero_time_gives_zero() {
-        assert_eq!(invert_cost(1.0, 1.0, 2.0, 0.0), 0.0);
-        assert_eq!(invert_cost(1.0, 1.0, 2.0, -3.0), 0.0);
+        assert_eq!(invert_cost_newton(1.0, 1.0, 2.0, 0.0, 64), (0.0, 0.0));
+        assert_eq!(invert_cost_newton(1.0, 1.0, 2.0, -3.0, 64), (0.0, 0.0));
+        assert_eq!(invert_cost_reference(1.0, 1.0, 2.0, 0.0), 0.0);
+        assert_eq!(invert_cost_reference(1.0, 1.0, 2.0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn invert_cost_linear_is_closed_form() {
+        // α = 1 takes the exact closed-form path: t / (c + w).
+        let (x, slope) = invert_cost_newton(2.0, 3.0, 1.0, 10.0, 64);
+        assert_eq!(x, 2.0);
+        assert_eq!(slope, 0.2);
     }
 
     #[test]
@@ -363,6 +828,109 @@ mod tests {
     }
 
     #[test]
+    fn alpha_just_above_one_stays_near_linear() {
+        // α → 1⁺: the Newton solver must degrade gracefully into the
+        // linear closed form, not lose precision to the vanishing
+        // curvature.
+        let platform =
+            Platform::from_speeds_and_costs(&[1.0, 2.0, 4.0], &[1.0, 0.5, 0.25]).unwrap();
+        let nl = equal_finish_parallel(&platform, 60.0, 1.0 + 1e-9).unwrap();
+        let lin = crate::linear::single_round_parallel(&platform, 60.0);
+        for (a, b) in nl.x.iter().zip(&lin.chunks) {
+            assert!(rel(*a, *b) < 1e-6, "{a} vs {b}");
+        }
+        let reference = equal_finish_parallel_reference(&platform, 60.0, 1.0 + 1e-9).unwrap();
+        assert!(rel(nl.makespan, reference.makespan) < 1e-9);
+    }
+
+    #[test]
+    fn very_superlinear_alpha_converges() {
+        // α ≫ 1: extreme curvature; Newton's monotone descent from the
+        // closed-form upper bound must still converge onto the oracle.
+        let platform = Platform::from_speeds_and_costs(&[1.0, 3.0, 0.5], &[0.7, 0.1, 2.0]).unwrap();
+        for &alpha in &[6.0, 12.0, 24.0] {
+            let a = equal_finish_parallel(&platform, 50.0, alpha).unwrap();
+            let r = equal_finish_parallel_reference(&platform, 50.0, alpha).unwrap();
+            assert!((a.x.iter().sum::<f64>() - 50.0).abs() < 1e-9 * 50.0);
+            assert!(rel(a.makespan, r.makespan) < 1e-9, "alpha={alpha}");
+            // Sharper nonlinearity evens out the shares: no worker runs
+            // away with the load.
+            let max = a.x.iter().cloned().fold(0.0, f64::max);
+            assert!(max < 50.0);
+        }
+    }
+
+    #[test]
+    fn near_zero_bandwidth_worker_gets_almost_nothing() {
+        // One worker behind a near-dead link (huge c_i = 1/bandwidth):
+        // the solver must converge and starve it rather than stall.
+        let platform =
+            Platform::from_speeds_and_costs(&[1.0, 1.0, 1.0], &[0.5, 1e12, 0.5]).unwrap();
+        let a = equal_finish_parallel(&platform, 40.0, 2.0).unwrap();
+        let r = equal_finish_parallel_reference(&platform, 40.0, 2.0).unwrap();
+        assert!(rel(a.makespan, r.makespan) < 1e-9);
+        assert!(a.x[1] < 1e-9 * 40.0, "starved share {}", a.x[1]);
+        assert!((a.x.iter().sum::<f64>() - 40.0).abs() < 1e-9 * 40.0);
+    }
+
+    #[test]
+    fn stale_warm_start_brackets_fall_back() {
+        // Warm seeds that no longer contain the root — orders of
+        // magnitude below and above — must converge to the cold answer,
+        // not panic or diverge.
+        let platform = Platform::from_speeds_and_costs(&[1.0, 3.0, 2.0], &[0.5, 0.4, 0.9]).unwrap();
+        let config = SolverConfig::default();
+        let cold = equal_finish_parallel(&platform, 25.0, 2.0).unwrap();
+        for seed in [1e-30, 1e-3, 1e3, 1e30] {
+            let mut warm = WarmStart::seeded(seed);
+            let a = equal_finish_parallel_with(&platform, 25.0, 2.0, &config, &mut warm).unwrap();
+            assert!(
+                rel(a.makespan, cold.makespan) < 1e-9,
+                "seed {seed}: {} vs {}",
+                a.makespan,
+                cold.makespan
+            );
+            // The handle was refreshed with the actual root.
+            assert!(rel(warm.last().unwrap(), cold.makespan) < 1e-9);
+        }
+        // Non-finite / non-positive seeds are ignored entirely.
+        assert_eq!(WarmStart::seeded(f64::NAN), WarmStart::new());
+        assert_eq!(WarmStart::seeded(-1.0), WarmStart::new());
+    }
+
+    #[test]
+    fn warm_start_sequence_matches_cold_solves() {
+        // A FIFO-style shrinking sequence through one handle agrees with
+        // independent cold solves to well below the 1e-9 contract.
+        let platform = Platform::from_speeds_and_costs(&[1.0, 2.5, 4.0], &[1.0, 0.5, 0.7]).unwrap();
+        let config = SolverConfig::default();
+        let mut warm = WarmStart::new();
+        for &n in &[120.0, 90.0, 60.0, 30.0, 10.0] {
+            let warm_run =
+                equal_finish_parallel_with(&platform, n, 1.7, &config, &mut warm).unwrap();
+            let cold_run = equal_finish_parallel(&platform, n, 1.7).unwrap();
+            assert!(rel(warm_run.makespan, cold_run.makespan) < 1e-9);
+            for (a, b) in warm_run.x.iter().zip(&cold_run.x) {
+                assert!((a - b).abs() < 1e-9 * n, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn newton_matches_reference_one_port() {
+        let platform = Platform::from_speeds_and_costs(&[1.0, 2.0, 5.0], &[1.0, 0.3, 0.8]).unwrap();
+        for &alpha in &[1.0, 1.5, 2.0, 3.0] {
+            let a = equal_finish_one_port(&platform, 30.0, alpha, None).unwrap();
+            let r = equal_finish_one_port_reference(&platform, 30.0, alpha, None).unwrap();
+            assert!(rel(a.makespan, r.makespan) < 1e-9, "alpha={alpha}");
+            for (x, y) in a.x.iter().zip(&r.x) {
+                assert!((x - y).abs() < 1e-9 * 30.0);
+            }
+            assert_eq!(a.order, r.order);
+        }
+    }
+
+    #[test]
     fn work_fraction_decreases_with_platform_size() {
         let n = 1000.0;
         let mut prev = 1.0;
@@ -392,6 +960,8 @@ mod tests {
         assert!(equal_finish_parallel(&platform, 10.0, 0.5).is_err());
         assert!(equal_finish_one_port(&platform, 10.0, 2.0, Some(vec![1])).is_err());
         assert!(homogeneous_allocation(4, f64::NAN, 2.0, 1.0, 1.0).is_err());
+        assert!(equal_finish_parallel_reference(&platform, 0.0, 2.0).is_err());
+        assert!(equal_finish_one_port_reference(&platform, 10.0, 2.0, Some(vec![1])).is_err());
     }
 
     #[test]

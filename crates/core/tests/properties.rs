@@ -89,6 +89,72 @@ proptest! {
     }
 
     #[test]
+    fn newton_solver_matches_bisection_reference_parallel(
+        platform in platform_strategy(),
+        load in 0.5f64..2e3,
+        alpha in 1.0f64..4.0,
+    ) {
+        // The ≤1e-9 relative-error contract of docs/solver.md: the Newton
+        // solver and the nested-bisection oracle agree on the makespan
+        // (relative) and on every share (relative to the load — a share
+        // can legitimately be ~0 behind a slow link).
+        let newton = nonlinear::equal_finish_parallel(&platform, load, alpha).unwrap();
+        let oracle = nonlinear::equal_finish_parallel_reference(&platform, load, alpha).unwrap();
+        prop_assert!(
+            (newton.makespan - oracle.makespan).abs() <= 1e-9 * oracle.makespan,
+            "makespan {} vs oracle {}", newton.makespan, oracle.makespan
+        );
+        for (a, b) in newton.x.iter().zip(&oracle.x) {
+            prop_assert!((a - b).abs() <= 1e-9 * load, "share {a} vs oracle {b}");
+        }
+    }
+
+    #[test]
+    fn newton_solver_matches_bisection_reference_one_port(
+        platform in platform_strategy(),
+        load in 0.5f64..2e3,
+        alpha in 1.0f64..4.0,
+    ) {
+        let newton = nonlinear::equal_finish_one_port(&platform, load, alpha, None).unwrap();
+        let oracle =
+            nonlinear::equal_finish_one_port_reference(&platform, load, alpha, None).unwrap();
+        prop_assert!(
+            (newton.makespan - oracle.makespan).abs() <= 1e-9 * oracle.makespan,
+            "makespan {} vs oracle {}", newton.makespan, oracle.makespan
+        );
+        for (a, b) in newton.x.iter().zip(&oracle.x) {
+            prop_assert!((a - b).abs() <= 1e-9 * load, "share {a} vs oracle {b}");
+        }
+        prop_assert_eq!(&newton.order, &oracle.order);
+    }
+
+    #[test]
+    fn warm_started_solves_match_cold_solves(
+        platform in platform_strategy(),
+        load in 0.5f64..2e3,
+        alpha in 1.0f64..4.0,
+        seed_scale in -12i32..12,
+    ) {
+        // A warm-start seed anywhere within ±12 decades of the true root
+        // — including brackets that no longer contain it — must fall back
+        // and land on the cold answer, never panic or diverge.
+        let config = nonlinear::SolverConfig::default();
+        let cold = nonlinear::equal_finish_parallel(&platform, load, alpha).unwrap();
+        let mut warm =
+            nonlinear::WarmStart::seeded(cold.makespan * 10f64.powi(seed_scale));
+        let warmed = nonlinear::equal_finish_parallel_with(
+            &platform, load, alpha, &config, &mut warm,
+        ).unwrap();
+        prop_assert!(
+            (warmed.makespan - cold.makespan).abs() <= 1e-9 * cold.makespan,
+            "warm {} vs cold {}", warmed.makespan, cold.makespan
+        );
+        for (a, b) in warmed.x.iter().zip(&cold.x) {
+            prop_assert!((a - b).abs() <= 1e-9 * load);
+        }
+    }
+
+    #[test]
     fn more_workers_never_hurt_makespan_linear(
         speeds in proptest::collection::vec(0.1f64..10.0, 2..16),
         load in 1.0f64..100.0,

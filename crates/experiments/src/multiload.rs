@@ -140,7 +140,10 @@ pub fn run_multiload(
     // The base load's alone-makespan (the release window of
     // `generate_loads`) depends only on (alpha, trial platform), not on
     // the load count — solve it once per pair here instead of once per
-    // sweep point; the nested-bisection solver is the dominant cost.
+    // sweep point; the equal-finish solves are the dominant cost. Trials
+    // stay cold-start on purpose: each runs on an independent platform
+    // inside `par_map`, and warm-starting across them would make the CSV
+    // bytes depend on the thread schedule.
     let t_alone_table: Vec<Vec<f64>> = alphas
         .iter()
         .map(|&alpha| {
@@ -169,7 +172,7 @@ pub fn run_multiload(
                 // The FIFO installments already solved every load's
                 // single-round optimum; those makespans ARE the stretch
                 // denominators, so hand them to the round-robin scheduler
-                // instead of re-running the bisection solver per load.
+                // instead of re-running the equal-finish solver per load.
                 let alone: Vec<f64> = fifo.report.per_load.iter().map(|m| m.alone).collect();
                 let rr = round_robin_schedule_with_alone(&platform, &loads, &config, &alone)
                     .expect("round-robin schedules valid batch");

@@ -24,17 +24,35 @@ pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64) -> Table {
         "makespan_hom",
     ])
     .with_title("Section 2: fraction of work remaining after one DLT round (W−W_partial)/W");
+    let config = nonlinear::SolverConfig::default();
     for &p in ps {
+        // Both platforms depend only on (p, seed): build them once per p,
+        // and warm-start the solver across the α sweep — one handle per
+        // platform, since their finish-time scales differ.
+        let hom_platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+        let uni_platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+            .generate(seed)
+            .unwrap();
+        let mut warm_hom = nonlinear::WarmStart::new();
+        let mut warm_uni = nonlinear::WarmStart::new();
         for &alpha in alphas {
             let closed = analysis::remaining_fraction_homogeneous(p, alpha);
-            let hom_platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
-            let hom = nonlinear::equal_finish_parallel(&hom_platform, n, alpha)
-                .expect("solver converges");
-            let uni_platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
-                .generate(seed)
-                .unwrap();
-            let uni = nonlinear::equal_finish_parallel(&uni_platform, n, alpha)
-                .expect("solver converges");
+            let hom = nonlinear::equal_finish_parallel_with(
+                &hom_platform,
+                n,
+                alpha,
+                &config,
+                &mut warm_hom,
+            )
+            .expect("solver converges");
+            let uni = nonlinear::equal_finish_parallel_with(
+                &uni_platform,
+                n,
+                alpha,
+                &config,
+                &mut warm_uni,
+            )
+            .expect("solver converges");
             t.row([
                 p.into(),
                 alpha.into(),

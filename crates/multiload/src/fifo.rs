@@ -37,7 +37,27 @@ pub struct FifoOutcome {
 /// The per-installment makespan and shares come from
 /// [`nonlinear::equal_finish_parallel`]; since every installment starts
 /// from an idle platform, equal finish times make all workers available
-/// simultaneously for the next installment.
+/// simultaneously for the next installment. Consecutive installments run
+/// on the same platform with comparable sizes, so each solve seeds the
+/// next through one [`nonlinear::WarmStart`] handle — the first
+/// installment starts cold and therefore stays bit-identical to the plain
+/// single-load solver.
+///
+/// # Examples
+///
+/// ```
+/// use dlt_multiload::{fifo_schedule, LoadSpec};
+/// use dlt_platform::Platform;
+///
+/// let platform = Platform::from_speeds(&[1.0, 3.0]).unwrap();
+/// let loads = [
+///     LoadSpec::immediate(30.0, 1.5).unwrap(),
+///     LoadSpec::immediate(30.0, 1.5).unwrap(),
+/// ];
+/// let out = fifo_schedule(&platform, &loads).unwrap();
+/// // Identical back-to-back loads: the second waits a full installment.
+/// assert!((out.report.per_load[1].stretch() - 2.0).abs() < 1e-9);
+/// ```
 pub fn fifo_schedule(
     platform: &Platform,
     loads: &[LoadSpec],
@@ -47,9 +67,13 @@ pub fn fifo_schedule(
     let mut per_load = vec![None; loads.len()];
     let mut shares = vec![Vec::new(); loads.len()];
     let mut platform_free = 0.0f64;
+    let config = nonlinear::SolverConfig::default();
+    let mut warm = nonlinear::WarmStart::new();
     for &j in &order {
         let load = loads[j];
-        let alloc = nonlinear::equal_finish_parallel(platform, load.size, load.alpha)?;
+        let alloc = nonlinear::equal_finish_parallel_with(
+            platform, load.size, load.alpha, &config, &mut warm,
+        )?;
         let start = load.release.max(platform_free);
         let finish = start + alloc.makespan;
         per_load[j] = Some(LoadMetrics {

@@ -58,6 +58,21 @@ impl LoadSpec {
     pub fn alone_makespan(&self, platform: &Platform) -> Result<f64, MultiLoadError> {
         Ok(nonlinear::equal_finish_parallel(platform, self.size, self.alpha)?.makespan)
     }
+
+    /// [`alone_makespan`](Self::alone_makespan) with explicit solver
+    /// tunables and a warm-start handle — what [`crate::alone_makespans`]
+    /// threads across a whole batch so each load's solve seeds the next.
+    pub fn alone_makespan_with(
+        &self,
+        platform: &Platform,
+        config: &nonlinear::SolverConfig,
+        warm: &mut nonlinear::WarmStart,
+    ) -> Result<f64, MultiLoadError> {
+        Ok(
+            nonlinear::equal_finish_parallel_with(platform, self.size, self.alpha, config, warm)?
+                .makespan,
+        )
+    }
 }
 
 /// Indices of `loads` sorted by non-decreasing release time, ties broken by

@@ -122,16 +122,25 @@ fn occupancy(platform: &Platform, w: usize, data: f64, work: f64, include_comm: 
 }
 
 /// Alone-on-the-platform makespans of every load of a batch — the stretch
-/// denominators, each a nested-bisection solve
-/// ([`crate::LoadSpec::alone_makespan`]). This is far more expensive than
-/// the dispatch itself on big platforms, so callers that schedule the same
-/// batch repeatedly (benches, refinement loops) should compute it **once**
-/// and pass it to the `_with_alone` scheduler variants.
+/// denominators, each an equal-finish Newton solve
+/// ([`crate::LoadSpec::alone_makespan`]). All loads share one platform, so
+/// one [`dlt_core::nonlinear::WarmStart`] handle threads through the
+/// batch: each solve's root seeds the next load's outer bracket. The
+/// first load starts cold, keeping its value bit-identical to a direct
+/// [`crate::LoadSpec::alone_makespan`] call. Still far more expensive
+/// than the dispatch itself on big platforms, so callers that schedule
+/// the same batch repeatedly (benches, refinement loops) should compute
+/// it **once** and pass it to the `_with_alone` scheduler variants.
 pub fn alone_makespans(
     platform: &Platform,
     loads: &[LoadSpec],
 ) -> Result<Vec<f64>, MultiLoadError> {
-    loads.iter().map(|l| l.alone_makespan(platform)).collect()
+    let config = dlt_core::nonlinear::SolverConfig::default();
+    let mut warm = dlt_core::nonlinear::WarmStart::new();
+    loads
+        .iter()
+        .map(|l| l.alone_makespan_with(platform, &config, &mut warm))
+        .collect()
 }
 
 /// Shared post-processing: per-load metrics from the chunk log.
@@ -190,6 +199,24 @@ fn validate_with_alone(
 /// Workers start free at 0. For every queued chunk, the earliest-free
 /// worker (ties by id) takes it at `max(worker free, load release)` and
 /// holds it for its occupancy.
+///
+/// # Examples
+///
+/// ```
+/// use dlt_multiload::{fifo_schedule, round_robin_schedule, LoadSpec, MultiLoadConfig};
+/// use dlt_platform::Platform;
+///
+/// let platform = Platform::from_speeds(&[1.0, 1.0]).unwrap();
+/// let loads = [
+///     LoadSpec::immediate(100.0, 1.0).unwrap(),
+///     LoadSpec::immediate(2.0, 1.0).unwrap(),
+/// ];
+/// let rr = round_robin_schedule(&platform, &loads, &MultiLoadConfig::default()).unwrap();
+/// let fifo = fifo_schedule(&platform, &loads).unwrap();
+/// // Interleaving starts the small load long before FIFO would: under
+/// // FIFO it waits for the big load's entire installment.
+/// assert!(rr.report.per_load[1].start < fifo.report.per_load[1].start);
+/// ```
 pub fn round_robin_schedule(
     platform: &Platform,
     loads: &[LoadSpec],
