@@ -13,6 +13,10 @@
 //! * `multiload` round-robin — the heap chunk dispatcher of
 //!   `dlt-multiload` vs its linear worker-scan reference, on a contended
 //!   many-load batch;
+//! * `multiload_policy` — the cached-key online admission-policy engine
+//!   of `dlt-multiload` (SRPT selection over an incrementally maintained
+//!   pending set) vs its rescan-everything linear reference, on a
+//!   many-load arrival stream;
 //! * the `solver` group — the safeguarded-Newton + warm-start
 //!   `equal_finish_parallel` vs the nested-bisection oracle
 //!   (`equal_finish_parallel_reference`), on a FIFO-style sequence of
@@ -35,8 +39,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlt_bench::BENCH_SEED;
 use dlt_core::nonlinear;
 use dlt_multiload::{
-    round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, LoadSpec,
-    MultiLoadConfig,
+    online_schedule_reference_with_alone, online_schedule_with_alone,
+    round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, AdmissionOrder,
+    LoadSpec, MultiLoadConfig, PolicyConfig,
 };
 use dlt_partition::{peri_sum_partition_reference, PeriSumDp};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
@@ -98,6 +103,40 @@ fn multiload_instance(
     let config = MultiLoadConfig {
         chunks_per_load: chunks,
         include_comm: false,
+    };
+    let alone = vec![1.0; batch.len()];
+    (platform, batch, config, alone)
+}
+
+/// Online admission-policy arrival stream: `loads` α-power loads with
+/// staggered releases on a small platform, `installments` installments
+/// each under SRPT — the regime where *selection* (not the per-solve
+/// Newton) dominates: every decision the reference rescans all pending
+/// loads and recomputes each priority key (one `powf` per candidate),
+/// while the engine reuses cached keys.
+///
+/// The stretch denominators (`alone`) are unit placeholders, exactly as in
+/// [`multiload_instance`]: SRPT keys never read them, so they influence no
+/// dispatch decision — the bench compares the *selection* kernels.
+fn policy_instance(
+    p: usize,
+    loads: usize,
+    installments: usize,
+) -> (Platform, Vec<LoadSpec>, PolicyConfig, Vec<f64>) {
+    let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let batch: Vec<LoadSpec> = (0..loads)
+        .map(|j| {
+            let size = 200.0 + 13.0 * (j % 17) as f64;
+            let alpha = 1.0 + 0.25 * (j % 3) as f64;
+            let release = 0.5 * (j % 31) as f64;
+            LoadSpec::new(size, alpha, release).unwrap()
+        })
+        .collect();
+    let config = PolicyConfig {
+        order: AdmissionOrder::Srpt,
+        installments,
     };
     let alone = vec![1.0; batch.len()];
     (platform, batch, config, alone)
@@ -243,6 +282,35 @@ fn bench_multiload(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_policy(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("multiload_policy");
+    for &(p, loads, installments) in &[(8usize, 128usize, 2usize), (8, 768, 2)] {
+        let (platform, batch, config, alone) = policy_instance(p, loads, installments);
+        let id = format!("p{p}_l{loads}_k{installments}");
+        group.bench_with_input(BenchmarkId::new("srpt_cached_keys", &id), &p, |b, _| {
+            b.iter(|| {
+                online_schedule_with_alone(black_box(&platform), black_box(&batch), &config, &alone)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("srpt_linear_rescan", &id), &p, |b, _| {
+            b.iter(|| {
+                online_schedule_reference_with_alone(
+                    black_box(&platform),
+                    black_box(&batch),
+                    &config,
+                    &alone,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Minimum wall-clock of `reps` calls, in nanoseconds (min is the most
 /// reproducible point estimate for a CPU-bound kernel).
 fn time_min_ns<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
@@ -298,6 +366,15 @@ fn emit_json(c: &mut Criterion) {
         round_robin_schedule_with_alone(&ml_platform, &ml_batch, &ml_config, &ml_alone).unwrap()
     });
 
+    let (po_platform, po_batch, po_config, po_alone) = policy_instance(8, 768, 2);
+    let po_base = time_min_ns(reps(10), || {
+        online_schedule_reference_with_alone(&po_platform, &po_batch, &po_config, &po_alone)
+            .unwrap()
+    });
+    let po_opt = time_min_ns(reps(50), || {
+        online_schedule_with_alone(&po_platform, &po_batch, &po_config, &po_alone).unwrap()
+    });
+
     let record = |name: &str, config: &str, baseline: &str, optimized: &str, b: f64, o: f64| {
         format!(
             "  {{\n    \"bench\": \"{name}\",\n    \"config\": \"{config}\",\n    \
@@ -308,7 +385,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{},\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -334,6 +411,14 @@ fn emit_json(c: &mut Criterion) {
             ml_opt,
         ),
         record(
+            "multiload_policy",
+            "p=8, loads=768, installments=2, SRPT online, uniform profile",
+            "linear rescan + per-candidate powf (online_schedule_reference)",
+            "cached-key incremental pending set (online_schedule)",
+            po_base,
+            po_opt,
+        ),
+        record(
             "solver_equal_finish",
             "p=512, 8 shrinking installments, alpha=1.5, uniform profile",
             "nested bisection (equal_finish_parallel_reference)",
@@ -356,10 +441,11 @@ fn emit_json(c: &mut Criterion) {
     }
     eprintln!(
         "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x, \
-         solver_equal_finish {:.1}x",
+         multiload_policy {:.1}x, solver_equal_finish {:.1}x",
         sim_base / sim_opt,
         dp_base / dp_opt,
         ml_base / ml_opt,
+        po_base / po_opt,
         sv_base / sv_opt
     );
 }
@@ -369,6 +455,7 @@ criterion_group!(
     bench_demand,
     bench_peri_sum,
     bench_multiload,
+    bench_policy,
     bench_solver,
     emit_json
 );

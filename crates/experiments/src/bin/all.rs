@@ -15,7 +15,10 @@
 use dlt_experiments::affinity::run_affinity;
 use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
 use dlt_experiments::footprint::run_fig2;
-use dlt_experiments::multiload::{multiload_table, run_multiload, DEFAULT_ALPHAS};
+use dlt_experiments::multiload::{
+    multiload_policy_table, multiload_table, run_multiload, run_multiload_policy, DEFAULT_ALPHAS,
+    DEFAULT_INSTALLMENTS,
+};
 use dlt_experiments::partition_quality::run_partition_quality;
 use dlt_experiments::rho::run_rho_table;
 use dlt_experiments::runner::{parse_flags, thread_count, write_and_print};
@@ -134,6 +137,30 @@ fn main() {
         );
         let t = multiload_table(profile.name(), ml_p, &pts);
         write_and_print(&t, &format!("multiload_{}", profile.name()));
+    }
+
+    println!("== Extension: multi-load admission policies (SRPT, preemption, online) ==");
+    for profile in SpeedDistribution::paper_profiles() {
+        let (mlp_p, mlp_n) = if smoke { (4, 100.0) } else { (16, 1000.0) };
+        let mlp_loads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+        let mlp_installments: &[usize] = if smoke {
+            &[1, 2]
+        } else {
+            &DEFAULT_INSTALLMENTS
+        };
+        let pts = run_multiload_policy(
+            &profile,
+            mlp_p,
+            mlp_loads,
+            &DEFAULT_ALPHAS,
+            mlp_n,
+            mlp_installments,
+            part_trials,
+            seed,
+            threads,
+        );
+        let t = multiload_policy_table(profile.name(), mlp_p, &pts);
+        write_and_print(&t, &format!("multiload_policy_{}", profile.name()));
     }
 
     println!("== Extension: affinity-aware dispatch (paper's conclusion) ==");

@@ -1,0 +1,71 @@
+//! Admission-policy sweep: `cargo run --release -p dlt-experiments
+//! --bin multiload-policy -- [homogeneous|uniform|lognormal|all] [--p P]
+//! [--trials T] [--n BASE_SIZE] [--installments K]... [--seed S]
+//! [--threads W]`.
+//!
+//! For each profile, sweeps load count × nonlinearity exponent × admission
+//! order (FIFO, SRPT, weighted stretch) × installment granularity with the
+//! **online** policy scheduler of `dlt-multiload` (specs revealed at
+//! release time), printing the table and writing
+//! `results/multiload_policy_<profile>.csv`. Repeat `--installments` to
+//! sweep several granularities; results are byte-identical for every
+//! `--threads` value.
+
+use dlt_experiments::multiload::{
+    multiload_policy_table, run_multiload_policy, DEFAULT_ALPHAS, DEFAULT_BASE_SIZE,
+    DEFAULT_INSTALLMENTS, DEFAULT_LOAD_COUNTS, DEFAULT_P,
+};
+use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
+use dlt_platform::SpeedDistribution;
+
+fn main() {
+    let flags = parse_flags(std::env::args().skip(1));
+    let profile_arg = flags
+        .get("")
+        .and_then(|v| v.first())
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let p: usize = flag_or(&flags, "p", DEFAULT_P);
+    let trials: usize = flag_or(&flags, "trials", 50);
+    let base_size: f64 = flag_or(&flags, "n", DEFAULT_BASE_SIZE);
+    let seed: u64 = flag_or(&flags, "seed", 42);
+    let threads = thread_count(&flags);
+    let installments: Vec<usize> = flags
+        .get("installments")
+        .map(|vs| {
+            vs.iter()
+                .map(|s| {
+                    s.parse()
+                        .unwrap_or_else(|_| panic!("bad --installments {s}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| DEFAULT_INSTALLMENTS.to_vec());
+
+    let profiles: Vec<SpeedDistribution> = if profile_arg == "all" {
+        SpeedDistribution::paper_profiles().to_vec()
+    } else {
+        vec![SpeedDistribution::from_profile_name(&profile_arg).unwrap_or_else(|e| panic!("{e}"))]
+    };
+
+    for profile in profiles {
+        let name = profile.name();
+        eprintln!(
+            "running multiload-policy profile={name} p={p} trials={trials} n={base_size} \
+             installments={installments:?} seed={seed} threads={threads} ..."
+        );
+        let points = run_multiload_policy(
+            &profile,
+            p,
+            &DEFAULT_LOAD_COUNTS,
+            &DEFAULT_ALPHAS,
+            base_size,
+            &installments,
+            trials,
+            seed,
+            threads,
+        );
+        let table = multiload_policy_table(name, p, &points);
+        write_and_print(&table, &format!("multiload_policy_{name}"));
+    }
+}

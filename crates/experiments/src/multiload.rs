@@ -18,8 +18,9 @@
 //! the harness smoke test pins down against independently computed rows.
 
 use dlt_multiload::{
-    fifo_schedule, round_robin_schedule_with_alone, LoadSpec, MultiLoadConfig, MultiLoadReport,
-    SchedulerKind,
+    alone_policy_makespans, fifo_schedule, online_schedule_with_alone,
+    round_robin_schedule_with_alone, AdmissionOrder, LoadSpec, MultiLoadConfig, MultiLoadReport,
+    PolicyConfig, SchedulerKind,
 };
 use dlt_platform::rng::seeded_stream;
 use dlt_platform::{PlatformSpec, SpeedDistribution};
@@ -40,6 +41,10 @@ pub const DEFAULT_BASE_SIZE: f64 = 1000.0;
 
 /// Default chunks per load for the round-robin scheduler.
 pub const DEFAULT_CHUNKS: usize = 32;
+
+/// Installment granularities swept by the policy experiment: `1` is
+/// non-preemptive, `4` lets a load be paused at three boundaries.
+pub const DEFAULT_INSTALLMENTS: [usize; 2] = [1, 4];
 
 /// Salt mixed into the base seed for the load-generation streams, so load
 /// parameters are independent of the platform draws sharing the seed.
@@ -243,6 +248,170 @@ pub fn multiload_table(profile_name: &str, p: usize, points: &[MultiloadPoint]) 
     t
 }
 
+/// One policy-sweep table point: an `(loads, alpha, order, installments)`
+/// cell summarized over trials.
+#[derive(Debug, Clone)]
+pub struct PolicyPoint {
+    /// Number of loads in the batch.
+    pub loads: usize,
+    /// Common nonlinearity exponent of the batch.
+    pub alpha: f64,
+    /// Admission order measured.
+    pub order: AdmissionOrder,
+    /// Installment granularity (1 = non-preemptive).
+    pub installments: usize,
+    /// Makespan summary across trials.
+    pub makespan: Summary,
+    /// Mean-flow summary across trials.
+    pub mean_flow: Summary,
+    /// Mean-stretch summary across trials.
+    pub mean_stretch: Summary,
+    /// Max-stretch summary across trials.
+    pub max_stretch: Summary,
+    /// Preemption-count summary across trials.
+    pub preemptions: Summary,
+}
+
+/// Runs the admission-policy sweep for one profile: every
+/// [`AdmissionOrder`] × installment granularity on the **same** trial
+/// batches the FIFO/round-robin sweep draws ([`generate_loads`]), through
+/// the **online** scheduler (`dlt_multiload::online_schedule_with_alone`)
+/// — specs revealed at release time, no future knowledge. Stretch
+/// denominators come from `dlt_multiload::alone_policy_makespans` at the
+/// matching granularity, computed once per `(trial, installments)` and
+/// shared across the three orders. Trials are dispatched over `threads`
+/// scoped workers and folded in trial order: tables are byte-identical
+/// for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiload_policy(
+    profile: &SpeedDistribution,
+    p: usize,
+    load_counts: &[usize],
+    alphas: &[f64],
+    base_size: f64,
+    installments: &[usize],
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<PolicyPoint> {
+    let spec = PlatformSpec::new(p, profile.clone());
+    // The release window (the base load's alone makespan) is shared with
+    // `run_multiload`: same seed, same trial streams, same batches.
+    let t_alone_table: Vec<Vec<f64>> = alphas
+        .iter()
+        .map(|&alpha| {
+            crate::runner::par_map(trials, threads, |trial| {
+                let platform = spec
+                    .generate_stream(seed, trial as u64)
+                    .expect("valid spec");
+                LoadSpec::immediate(base_size, alpha)
+                    .expect("valid base load")
+                    .alone_makespan(&platform)
+                    .expect("single-load solver converges")
+            })
+        })
+        .collect();
+    let cells: Vec<(usize, AdmissionOrder)> = installments
+        .iter()
+        .flat_map(|&k| AdmissionOrder::ALL.iter().map(move |&order| (k, order)))
+        .collect();
+    let mut points = Vec::new();
+    for &n_loads in load_counts {
+        for (alpha_idx, &alpha) in alphas.iter().enumerate() {
+            let t_alone_by_trial = &t_alone_table[alpha_idx];
+            let per_trial: Vec<Vec<(TrialMetrics, f64)>> =
+                crate::runner::par_map(trials, threads, |trial| {
+                    let platform = spec
+                        .generate_stream(seed, trial as u64)
+                        .expect("valid spec");
+                    let t_alone = t_alone_by_trial[trial];
+                    let loads =
+                        generate_loads(n_loads, alpha, base_size, t_alone, seed, trial as u64);
+                    let mut row = Vec::with_capacity(cells.len());
+                    for &k in installments {
+                        let alone = alone_policy_makespans(&platform, &loads, k)
+                            .expect("alone solves converge");
+                        for order in AdmissionOrder::ALL {
+                            let cfg = PolicyConfig {
+                                order,
+                                installments: k,
+                            };
+                            let out = online_schedule_with_alone(&platform, &loads, &cfg, &alone)
+                                .expect("policy scheduler handles valid batch");
+                            row.push((TrialMetrics::of(&out.report), out.preemptions as f64));
+                        }
+                    }
+                    row
+                });
+            for (slot, &(k, order)) in cells.iter().enumerate() {
+                let mut makespan = Summary::new();
+                let mut mean_flow = Summary::new();
+                let mut mean_stretch = Summary::new();
+                let mut max_stretch = Summary::new();
+                let mut preemptions = Summary::new();
+                for row in &per_trial {
+                    let (m, pre) = row[slot];
+                    makespan.push(m.makespan);
+                    mean_flow.push(m.mean_flow);
+                    mean_stretch.push(m.mean_stretch);
+                    max_stretch.push(m.max_stretch);
+                    preemptions.push(pre);
+                }
+                points.push(PolicyPoint {
+                    loads: n_loads,
+                    alpha,
+                    order,
+                    installments: k,
+                    makespan,
+                    mean_flow,
+                    mean_stretch,
+                    max_stretch,
+                    preemptions,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Tabulates policy-sweep points: one row per
+/// `(loads, alpha, policy, installments)`.
+pub fn multiload_policy_table(profile_name: &str, p: usize, points: &[PolicyPoint]) -> Table {
+    let mut t = Table::new(&[
+        "profile",
+        "p",
+        "loads",
+        "alpha",
+        "policy",
+        "installments",
+        "makespan_mean",
+        "mean_flow_mean",
+        "mean_stretch_mean",
+        "max_stretch_mean",
+        "preemptions_mean",
+    ])
+    .with_title(&format!(
+        "Multi-load admission policies ({profile_name}, p={p}): online FIFO vs SRPT vs \
+         weighted stretch, preemption between installments"
+    ));
+    for pt in points {
+        t.row([
+            profile_name.into(),
+            p.into(),
+            pt.loads.into(),
+            pt.alpha.into(),
+            pt.order.name().into(),
+            pt.installments.into(),
+            pt.makespan.mean().into(),
+            pt.mean_flow.mean().into(),
+            pt.mean_stretch.mean().into(),
+            pt.max_stretch.mean().into(),
+            pt.preemptions.mean().into(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +506,64 @@ mod tests {
             .find(|pt| pt.scheduler == SchedulerKind::Fifo)
             .unwrap();
         assert!(fifo.mean_stretch.min() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn policy_table_has_one_row_per_cell() {
+        let pts = run_multiload_policy(
+            &SpeedDistribution::paper_uniform(),
+            4,
+            &[1, 2],
+            &[1.0, 2.0],
+            200.0,
+            &[1, 2],
+            2,
+            7,
+            1,
+        );
+        // loads × alphas × installments × orders.
+        assert_eq!(pts.len(), 2 * 2 * 2 * AdmissionOrder::ALL.len());
+        let t = multiload_policy_table("uniform", 4, &pts);
+        assert_eq!(t.n_rows(), pts.len());
+        let csv = t.to_csv();
+        for order in AdmissionOrder::ALL {
+            assert!(csv.contains(order.name()), "missing {}", order.name());
+        }
+    }
+
+    #[test]
+    fn policy_thread_count_does_not_change_results() {
+        let profile = SpeedDistribution::paper_lognormal();
+        let serial = run_multiload_policy(&profile, 4, &[2, 4], &[1.5], 200.0, &[1, 4], 4, 3, 1);
+        let parallel = run_multiload_policy(&profile, 4, &[2, 4], &[1.5], 200.0, &[1, 4], 4, 3, 4);
+        let a = multiload_policy_table("lognormal", 4, &serial);
+        let b = multiload_policy_table("lognormal", 4, &parallel);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn policy_stretches_hold_and_fifo_never_preempts() {
+        let pts = run_multiload_policy(
+            &SpeedDistribution::paper_uniform(),
+            8,
+            &[4],
+            &[1.5],
+            400.0,
+            &[1, 4],
+            5,
+            13,
+            2,
+        );
+        for pt in &pts {
+            // Granularity-matched stretch denominators: no policy dips
+            // below 1, trial by trial.
+            assert!(pt.mean_stretch.min() >= 1.0 - 1e-9);
+            assert!(pt.max_stretch.mean() >= pt.mean_stretch.mean() - 1e-12);
+            // Non-preemptive cells cannot preempt.
+            if pt.installments == 1 {
+                assert_eq!(pt.preemptions.max(), 0.0);
+            }
+        }
     }
 
     #[test]

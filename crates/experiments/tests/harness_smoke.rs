@@ -136,6 +136,35 @@ fn multiload_n1_reproduces_single_load_rows_bitwise() {
 }
 
 #[test]
+fn multiload_policy_runner_exercises_every_admission_order() {
+    use dlt_multiload::AdmissionOrder;
+    let pts = multiload::run_multiload_policy(
+        &SpeedDistribution::paper_uniform(),
+        4,
+        &[1, 2],
+        &[1.0, 2.0],
+        200.0,
+        &[1, 2],
+        2,
+        1,
+        2,
+    );
+    // loads × alphas × installments × every AdmissionOrder variant.
+    assert_eq!(pts.len(), 2 * 2 * 2 * AdmissionOrder::ALL.len());
+    let table = multiload::multiload_policy_table("uniform", 4, &pts);
+    assert_eq!(table.n_rows(), pts.len());
+    let csv = table.to_csv();
+    for order in AdmissionOrder::ALL {
+        assert!(csv.contains(order.name()), "CSV misses {}", order.name());
+    }
+    // Every cell's stretch stays ≥ 1 against the granularity-matched
+    // alone denominators.
+    for pt in &pts {
+        assert!(pt.mean_stretch.min() >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
 fn traces_render_non_trivially() {
     let (events, chart) = traces::fig1_sample_sort_trace(1024, 1);
     assert!(events.len() >= 2 + 2 * 4);
@@ -279,6 +308,34 @@ fn bin_multiload_smoke() {
         true,
     );
     assert!(out.contains("fifo") && out.contains("round_robin"));
+}
+
+#[test]
+fn bin_multiload_policy_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_multiload-policy"),
+        "multiload-policy",
+        &[
+            "uniform",
+            "--p",
+            "4",
+            "--trials",
+            "1",
+            "--n",
+            "100",
+            "--installments",
+            "1",
+            "--installments",
+            "2",
+            "--seed",
+            "1",
+            "--threads",
+            "2",
+        ],
+        true,
+    );
+    // The sweep covers every admission order.
+    assert!(out.contains("fifo") && out.contains("srpt") && out.contains("weighted_stretch"));
 }
 
 #[test]

@@ -24,6 +24,16 @@ pub enum MultiLoadError {
     },
     /// A chunk count of zero was requested.
     ZeroChunks,
+    /// An installment count of zero was requested.
+    ZeroInstallments,
+    /// A `_with_alone` entry point received an alone-makespan slice whose
+    /// length does not match the batch.
+    AloneLengthMismatch {
+        /// Number of loads in the batch.
+        loads: usize,
+        /// Length of the alone-makespan slice supplied.
+        alone: usize,
+    },
     /// The underlying single-load solver failed.
     Solver(DltError),
 }
@@ -42,6 +52,11 @@ impl std::fmt::Display for MultiLoadError {
                 write!(f, "release time must be finite and >= 0, got {value}")
             }
             Self::ZeroChunks => write!(f, "chunks_per_load must be >= 1"),
+            Self::ZeroInstallments => write!(f, "installments must be >= 1"),
+            Self::AloneLengthMismatch { loads, alone } => write!(
+                f,
+                "need one alone-makespan per load: batch has {loads}, slice has {alone}"
+            ),
             Self::Solver(e) => write!(f, "single-load solver failed: {e}"),
         }
     }

@@ -67,6 +67,12 @@ pub fn fifo_schedule(
     let mut per_load = vec![None; loads.len()];
     let mut shares = vec![Vec::new(); loads.len()];
     let mut platform_free = 0.0f64;
+    // A worker's finish is the end of the last installment that gave it a
+    // positive share — NOT `platform_free` across the board: a zero-share
+    // worker (e.g. a near-dead link contributing nothing to the tail
+    // installment) finished earlier, and a worker that never computed
+    // reports 0.
+    let mut worker_finish = vec![0.0f64; platform.len()];
     let config = nonlinear::SolverConfig::default();
     let mut warm = nonlinear::WarmStart::new();
     for &j in &order {
@@ -84,7 +90,13 @@ pub fn fifo_schedule(
             // The installment's own makespan IS the alone-makespan: same
             // solver, same inputs, so the stretch denominator is exact.
             alone: alloc.makespan,
+            size: load.size,
         });
+        for (w, &x) in alloc.x.iter().enumerate() {
+            if x > 0.0 {
+                worker_finish[w] = finish;
+            }
+        }
         shares[j] = alloc.x;
         platform_free = finish;
     }
@@ -92,9 +104,6 @@ pub fn fifo_schedule(
         .into_iter()
         .map(|m| m.expect("every load scheduled exactly once"))
         .collect();
-    // Equal finish times: every worker stays busy until the last
-    // installment completes.
-    let worker_finish = vec![platform_free; platform.len()];
     Ok(FifoOutcome {
         report: MultiLoadReport::new(SchedulerKind::Fifo, per_load, worker_finish),
         order,
@@ -165,6 +174,36 @@ mod tests {
             fifo_schedule(&platform, &[]),
             Err(MultiLoadError::EmptyBatch)
         ));
+    }
+
+    #[test]
+    fn worker_finish_derives_from_positive_shares() {
+        // Regression: worker_finish used to be `vec![platform_free; p]`
+        // unconditionally. It must equal the finish of each worker's last
+        // positive-share installment (0 when the worker never computed).
+        let platform =
+            Platform::from_speeds_and_costs(&[1.0, 2.0, 0.01], &[1.0, 0.5, 50.0]).unwrap();
+        let loads = [
+            LoadSpec::immediate(40.0, 2.0).unwrap(),
+            LoadSpec::new(10.0, 1.5, 90.0).unwrap(),
+        ];
+        let out = fifo_schedule(&platform, &loads).unwrap();
+        for w in 0..platform.len() {
+            let expect = out
+                .shares
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s[w] > 0.0)
+                .map(|(j, _)| out.report.per_load[j].finish)
+                .fold(0.0, f64::max);
+            assert_eq!(out.report.worker_finish[w], expect);
+        }
+        // Every worker that computed anything finishes no later than the
+        // batch makespan; none is reported past it.
+        let makespan = out.report.makespan();
+        for &f in &out.report.worker_finish {
+            assert!(f <= makespan);
+        }
     }
 
     #[test]

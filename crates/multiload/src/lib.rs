@@ -9,8 +9,9 @@
 //!
 //! A [`LoadSpec`] is one divisible load with its own size `N_j`,
 //! nonlinearity exponent `α_j` (cost `w_i · x^{α_j}` for `x` data units on
-//! worker `i`, as in [`dlt_core::nonlinear`]) and release time `r_j`. Two
-//! schedulers turn a batch of loads into a [`MultiLoadReport`]:
+//! worker `i`, as in [`dlt_core::nonlinear`]) and release time `r_j`.
+//! Three scheduler families turn a batch of loads into a
+//! [`MultiLoadReport`]:
 //!
 //! * [`fifo::fifo_schedule`] — the FIFO/installment scheduler: loads are
 //!   served one at a time in release order, each through the existing
@@ -26,11 +27,19 @@
 //!   ([`round_robin::round_robin_schedule_reference`]) is kept as the
 //!   property-test oracle and bench baseline, mirroring the
 //!   `simulate_demand` / `simulate_demand_reference` pair.
+//! * [`policy::policy_schedule`] / [`policy::online_schedule`] — the
+//!   **admission-policy subsystem**: a generalized installment scheduler
+//!   whose service order is a pluggable [`AdmissionOrder`] (FIFO, SRPT by
+//!   remaining work, weighted stretch), with preemption between
+//!   installments and an online entry point that commits without future
+//!   knowledge. Each engine keeps a linear-scan reference
+//!   (bit-identical, property-tested), mirroring the round-robin pair.
 //!
 //! Per-load metrics (start, finish, flow time, stretch) and aggregates
-//! (makespan, mean flow, mean/max stretch) live in [`metrics`]; the
-//! `multiload` binary of `dlt-experiments` sweeps them over load count,
-//! platform heterogeneity and nonlinearity.
+//! (makespan, mean flow, mean/max stretch, total data) live in
+//! [`metrics`]; the `multiload` and `multiload-policy` binaries of
+//! `dlt-experiments` sweep them over load count, platform heterogeneity,
+//! nonlinearity and admission policy.
 //!
 //! ```
 //! use dlt_multiload::{fifo_schedule, round_robin_schedule, LoadSpec, MultiLoadConfig};
@@ -51,12 +60,19 @@ pub mod error;
 pub mod fifo;
 pub mod load;
 pub mod metrics;
+pub mod policy;
 pub mod round_robin;
 
 pub use error::MultiLoadError;
 pub use fifo::{fifo_schedule, FifoOutcome};
 pub use load::{release_order, LoadSpec};
 pub use metrics::{AggregateMetrics, LoadMetrics, MultiLoadReport, SchedulerKind};
+pub use policy::{
+    alone_policy_makespans, online_schedule, online_schedule_reference,
+    online_schedule_reference_with_alone, online_schedule_with_alone, policy_schedule,
+    policy_schedule_reference, policy_schedule_reference_with_alone, policy_schedule_with_alone,
+    AdmissionOrder, InstallmentExec, PolicyConfig, PolicyOutcome,
+};
 pub use round_robin::{
     alone_makespans, round_robin_schedule, round_robin_schedule_reference,
     round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, ChunkExec,

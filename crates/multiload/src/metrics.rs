@@ -1,6 +1,6 @@
 //! Per-load and aggregate metrics of a multi-load schedule.
 
-use crate::load::LoadSpec;
+use crate::policy::AdmissionOrder;
 
 /// Which scheduler produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -9,6 +9,9 @@ pub enum SchedulerKind {
     Fifo,
     /// Chunked loads interleaved round-robin on the demand machinery.
     RoundRobin,
+    /// The generalized installment scheduler of [`crate::policy`], under
+    /// the given admission order.
+    Policy(AdmissionOrder),
 }
 
 impl SchedulerKind {
@@ -17,6 +20,7 @@ impl SchedulerKind {
         match self {
             Self::Fifo => "fifo",
             Self::RoundRobin => "round_robin",
+            Self::Policy(order) => order.policy_name(),
         }
     }
 }
@@ -34,6 +38,9 @@ pub struct LoadMetrics {
     pub release: f64,
     /// Makespan of the load alone on the platform (stretch denominator).
     pub alone: f64,
+    /// Data volume `N_j` copied from the spec, so aggregates (notably
+    /// `total_data`) never need the original batch alongside the report.
+    pub size: f64,
 }
 
 impl LoadMetrics {
@@ -71,7 +78,8 @@ pub struct MultiLoadReport {
     pub scheduler: SchedulerKind,
     /// Per-load timings, indexed like the input batch.
     pub per_load: Vec<LoadMetrics>,
-    /// Per-worker final finish times (0 for workers that never computed).
+    /// Per-worker final finish times: the instant each worker completes
+    /// its last positive share (0 for workers that never computed).
     pub worker_finish: Vec<f64>,
 }
 
@@ -90,39 +98,37 @@ impl MultiLoadReport {
         }
     }
 
-    /// Largest per-load finish time (equals the largest worker finish time
-    /// for the round-robin scheduler; the FIFO scheduler keeps all workers
-    /// busy until the last load completes).
+    /// Largest per-load finish time. Workers finishing the last
+    /// installment share it; workers that sat out the tail finish earlier
+    /// (see `worker_finish`).
     pub fn makespan(&self) -> f64 {
         self.per_load.iter().map(|l| l.finish).fold(0.0, f64::max)
     }
 
-    /// Aggregate metrics over the batch.
+    /// Aggregate metrics over the batch. Complete on its own: the per-load
+    /// sizes travel inside the report, so `total_data` is always `Σ N_j`
+    /// (it used to require a separate `aggregate_with_loads` call and
+    /// silently read 0 otherwise).
     pub fn aggregate(&self) -> AggregateMetrics {
         let n = self.per_load.len().max(1) as f64;
         let mut mean_flow = 0.0;
         let mut max_stretch: f64 = 0.0;
         let mut mean_stretch = 0.0;
+        let mut total_data = 0.0;
         for l in &self.per_load {
             mean_flow += l.flow();
             let s = l.stretch();
             max_stretch = max_stretch.max(s);
             mean_stretch += s;
+            total_data += l.size;
         }
         AggregateMetrics {
             makespan: self.makespan(),
             mean_flow: mean_flow / n,
             max_stretch,
             mean_stretch: mean_stretch / n,
-            total_data: 0.0,
+            total_data,
         }
-    }
-
-    /// Aggregates with the total data volume filled in from the batch.
-    pub fn aggregate_with_loads(&self, loads: &[LoadSpec]) -> AggregateMetrics {
-        let mut agg = self.aggregate();
-        agg.total_data = loads.iter().map(|l| l.size).sum();
-        agg
     }
 }
 
@@ -137,6 +143,7 @@ mod tests {
             finish,
             release,
             alone,
+            size: 5.0,
         }
     }
 
@@ -165,8 +172,27 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_total_data_needs_no_side_channel() {
+        // Regression: `aggregate()` used to hardcode `total_data: 0.0`
+        // and rely on callers remembering `aggregate_with_loads`.
+        let report = MultiLoadReport::new(
+            SchedulerKind::Fifo,
+            vec![
+                metrics(0, 0.0, 4.0, 0.0, 4.0),
+                metrics(1, 4.0, 10.0, 2.0, 4.0),
+            ],
+            vec![10.0],
+        );
+        assert_eq!(report.aggregate().total_data, 10.0);
+    }
+
+    #[test]
     fn scheduler_names() {
         assert_eq!(SchedulerKind::Fifo.name(), "fifo");
         assert_eq!(SchedulerKind::RoundRobin.name(), "round_robin");
+        assert_eq!(
+            SchedulerKind::Policy(AdmissionOrder::Srpt).name(),
+            "policy_srpt"
+        );
     }
 }

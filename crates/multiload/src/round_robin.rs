@@ -61,6 +61,9 @@ pub struct ChunkExec {
     pub load: usize,
     /// Worker that executed the chunk.
     pub worker: usize,
+    /// Data units the chunk carried (body chunks hold `size / c`; the
+    /// last chunk absorbs the rounding remainder).
+    pub data: f64,
     /// Instant the chunk started occupying the worker (≥ the load's
     /// release).
     pub start: f64,
@@ -91,19 +94,39 @@ struct Chunk {
 
 /// Round-robin chunk queue: loads in release order, chunk `k` of every
 /// load before chunk `k + 1` of any.
+///
+/// The first `chunks_per_load − 1` chunks of a load carry `size / c` data;
+/// the **last** chunk absorbs the floating-point rounding remainder
+/// (`size − (c−1)·(size/c)`), so the chunk sizes sum back to `size`
+/// exactly in real arithmetic instead of drifting by up to `c` rounding
+/// errors of the division. The per-load data/work pair is computed once
+/// per load here — not once per round — since `data.powf(alpha)` is the
+/// only transcendental in the queue build.
 fn chunk_queue(loads: &[LoadSpec], chunks_per_load: usize) -> Vec<Chunk> {
     let order = release_order(loads);
-    let mut queue = Vec::with_capacity(loads.len() * chunks_per_load);
-    for _round in 0..chunks_per_load {
-        for &j in &order {
-            let load = loads[j];
-            let data = load.size / chunks_per_load as f64;
-            queue.push(Chunk {
+    // Per-load chunk geometry, hoisted out of the round loop: (body chunk,
+    // last chunk), each with its work precomputed.
+    let geometry: Vec<(Chunk, Chunk)> = loads
+        .iter()
+        .enumerate()
+        .map(|(j, load)| {
+            let body = load.size / chunks_per_load as f64;
+            let last = (load.size - body * (chunks_per_load - 1) as f64).max(0.0);
+            let chunk = |data: f64| Chunk {
                 load: j,
                 data,
                 work: data.powf(load.alpha),
                 release: load.release,
-            });
+            };
+            (chunk(body), chunk(last))
+        })
+        .collect();
+    let mut queue = Vec::with_capacity(loads.len() * chunks_per_load);
+    for round in 0..chunks_per_load {
+        let is_last = round == chunks_per_load - 1;
+        for &j in &order {
+            let (body, last) = geometry[j];
+            queue.push(if is_last { last } else { body });
         }
     }
     queue
@@ -166,6 +189,7 @@ fn build_report(
             finish: finish[j],
             release: load.release,
             alone: alone[j],
+            size: load.size,
         })
         .collect();
     RoundRobinOutcome {
@@ -185,11 +209,12 @@ fn validate_with_alone(
     if config.chunks_per_load == 0 {
         return Err(MultiLoadError::ZeroChunks);
     }
-    assert_eq!(
-        alone.len(),
-        loads.len(),
-        "one alone-makespan per load required"
-    );
+    if alone.len() != loads.len() {
+        return Err(MultiLoadError::AloneLengthMismatch {
+            loads: loads.len(),
+            alone: alone.len(),
+        });
+    }
     Ok(())
 }
 
@@ -249,6 +274,7 @@ pub fn round_robin_schedule_with_alone(
         chunk_log.push(ChunkExec {
             load: chunk.load,
             worker: w,
+            data: chunk.data,
             start,
             finish: done,
         });
@@ -303,6 +329,7 @@ pub fn round_robin_schedule_reference_with_alone(
         chunk_log.push(ChunkExec {
             load: chunk.load,
             worker: w,
+            data: chunk.data,
             start,
             finish: done,
         });
@@ -326,14 +353,27 @@ mod tests {
         }
     }
 
+    /// The demand-task mirror of one load's chunk queue: `chunks − 1`
+    /// body chunks of `size / chunks` plus a last chunk absorbing the
+    /// rounding remainder — exactly what `chunk_queue` emits.
+    fn chunk_tasks(size: f64, alpha: f64, chunks: usize) -> Vec<DemandTask> {
+        let body = size / chunks as f64;
+        let last = (size - body * (chunks - 1) as f64).max(0.0);
+        (0..chunks)
+            .map(|k| {
+                let d = if k == chunks - 1 { last } else { body };
+                DemandTask::new(d, d.powf(alpha))
+            })
+            .collect()
+    }
+
     #[test]
     fn single_load_matches_simulate_demand_bitwise() {
         let platform = Platform::from_speeds(&[1.0, 1.7, 2.3, 0.4]).unwrap();
         let load = LoadSpec::immediate(64.0, 2.0).unwrap();
         let out = round_robin_schedule(&platform, &[load], &config(16)).unwrap();
 
-        let d = 64.0 / 16.0;
-        let tasks = vec![DemandTask::new(d, f64::powf(d, 2.0)); 16];
+        let tasks = chunk_tasks(64.0, 2.0, 16);
         let demand = simulate_demand(&platform, &tasks, DemandConfig::default());
         assert_eq!(out.report.worker_finish, demand.finish_times);
         assert_eq!(out.comm_volume, demand.comm_volume);
@@ -416,12 +456,48 @@ mod tests {
     }
 
     #[test]
+    fn last_chunk_absorbs_the_rounding_remainder() {
+        // Regression: chunks used to all carry `size / c`, so the intended
+        // chunk data summed to `c · fl(size/c) ≠ size`. With the remainder
+        // on the last chunk, `(c−1)·fl(size/c) + last == size` *bitwise*
+        // (the subtraction is exact by Sterbenz's lemma), even for sizes
+        // and counts whose division is maximally inexact.
+        let platform = Platform::from_speeds(&[1.0, 2.0]).unwrap();
+        for &size in &[0.1, 1.0 / 3.0, 977.77, 1e-3] {
+            for &chunks in &[2usize, 3, 7, 997] {
+                let load = LoadSpec::immediate(size, 1.5).unwrap();
+                let out = round_robin_schedule(&platform, &[load], &config(chunks)).unwrap();
+                let body = size / chunks as f64;
+                let last = out.chunk_log.last().unwrap().data;
+                assert_eq!(body * (chunks - 1) as f64 + last, size);
+                // And the executed log drifts only by summation rounding.
+                let shipped: f64 = out.chunk_log.iter().map(|c| c.data).sum();
+                let tol = 4.0 * chunks as f64 * f64::EPSILON * size;
+                assert!((shipped - size).abs() <= tol, "{shipped} vs {size}");
+            }
+        }
+    }
+
+    #[test]
     fn zero_chunks_rejected() {
         let platform = Platform::from_speeds(&[1.0]).unwrap();
         let loads = [LoadSpec::immediate(1.0, 1.0).unwrap()];
         assert!(matches!(
             round_robin_schedule(&platform, &loads, &config(0)),
             Err(MultiLoadError::ZeroChunks)
+        ));
+    }
+
+    #[test]
+    fn mismatched_alone_slice_is_a_typed_error_not_a_panic() {
+        let platform = Platform::from_speeds(&[1.0]).unwrap();
+        let loads = [
+            LoadSpec::immediate(1.0, 1.0).unwrap(),
+            LoadSpec::immediate(2.0, 1.0).unwrap(),
+        ];
+        assert!(matches!(
+            round_robin_schedule_with_alone(&platform, &loads, &config(2), &[1.0]),
+            Err(MultiLoadError::AloneLengthMismatch { loads: 2, alone: 1 })
         ));
     }
 

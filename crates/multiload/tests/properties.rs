@@ -1,10 +1,13 @@
 //! Property-based tests for the multi-load schedulers: conservation,
-//! release-time feasibility, heap-vs-reference bit-identity, and the
-//! `N = 1` degeneration to the single-load solvers.
+//! release-time feasibility, heap-vs-reference bit-identity, the `N = 1`
+//! degeneration to the single-load solvers, and the admission-policy
+//! engines against their linear-scan references.
 
 use dlt_core::nonlinear;
 use dlt_multiload::{
-    fifo_schedule, round_robin_schedule, round_robin_schedule_reference, LoadSpec, MultiLoadConfig,
+    fifo_schedule, online_schedule, online_schedule_reference, policy_schedule,
+    policy_schedule_reference, round_robin_schedule, round_robin_schedule_reference,
+    AdmissionOrder, LoadSpec, MultiLoadConfig, PolicyConfig,
 };
 use dlt_platform::Platform;
 use dlt_sim::{simulate_demand, DemandConfig, DemandTask};
@@ -20,9 +23,39 @@ fn instance() -> impl Strategy<Value = (Platform, Vec<LoadSpec>)> {
     (speeds, loads).prop_map(|(speeds, loads)| (Platform::from_speeds(&speeds).unwrap(), loads))
 }
 
+/// As [`instance`], but every load released at 0 — the regime where the
+/// online scheduler must equal the offline (clairvoyant) one exactly.
+fn instance_all_released() -> impl Strategy<Value = (Platform, Vec<LoadSpec>)> {
+    instance().prop_map(|(platform, loads)| {
+        let loads = loads
+            .into_iter()
+            .map(|l| LoadSpec::immediate(l.size, l.alpha).unwrap())
+            .collect();
+        (platform, loads)
+    })
+}
+
 /// Chunk counts worth exercising: degenerate (1) through fine-grained.
 fn chunk_count() -> impl Strategy<Value = usize> {
     (0usize..40).prop_map(|c| c.max(1))
+}
+
+/// Adversarial chunk counts for the conservation property: values whose
+/// division `size / c` is maximally inexact (primes), plus large counts
+/// that accumulate many rounding errors.
+fn adversarial_chunk_count() -> impl Strategy<Value = usize> {
+    const PRIMES: [usize; 6] = [3, 7, 13, 97, 499, 997];
+    (0usize..1000).prop_map(|c| if c < PRIMES.len() { PRIMES[c] } else { c })
+}
+
+/// One of the three admission orders.
+fn admission_order() -> impl Strategy<Value = AdmissionOrder> {
+    (0usize..AdmissionOrder::ALL.len()).prop_map(|i| AdmissionOrder::ALL[i])
+}
+
+/// Installment counts: 1 (non-preemptive) through fine-grained.
+fn installment_count() -> impl Strategy<Value = usize> {
+    (0usize..8).prop_map(|c| c.max(1))
 }
 
 proptest! {
@@ -147,8 +180,16 @@ proptest! {
         let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm };
         let out = round_robin_schedule(&platform, &[load], &cfg).unwrap();
 
-        let d = size / chunks as f64;
-        let tasks = vec![DemandTask::new(d, d.powf(alpha)); chunks];
+        // The chunk geometry of `chunk_queue`: body chunks of size/c, the
+        // last chunk absorbing the rounding remainder.
+        let body = size / chunks as f64;
+        let last = (size - body * (chunks - 1) as f64).max(0.0);
+        let tasks: Vec<DemandTask> = (0..chunks)
+            .map(|k| {
+                let d = if k == chunks - 1 { last } else { body };
+                DemandTask::new(d, d.powf(alpha))
+            })
+            .collect();
         let demand = simulate_demand(
             &platform,
             &tasks,
@@ -165,9 +206,136 @@ proptest! {
         for m in &out.report.per_load {
             prop_assert!(m.stretch() >= 1.0 - 1e-12, "stretch {}", m.stretch());
         }
-        let agg = out.report.aggregate_with_loads(&loads);
+        // The aggregate is complete on its own: total_data comes from the
+        // report (regression for the silently-zero `total_data`).
+        let agg = out.report.aggregate();
         prop_assert!(agg.max_stretch >= agg.mean_stretch);
         prop_assert!((agg.total_data - loads.iter().map(|l| l.size).sum::<f64>()).abs() < 1e-12
             * agg.total_data.max(1.0));
+    }
+
+    #[test]
+    fn round_robin_conserves_each_load_adversarially(
+        (platform, loads) in instance(),
+        chunks in adversarial_chunk_count(),
+    ) {
+        // Per-load conservation under the remainder-on-last-chunk queue:
+        // each load's executed chunk data sums back to its size within
+        // pure summation rounding (c additions), even for chunk counts
+        // whose division is maximally inexact.
+        let cfg = MultiLoadConfig { chunks_per_load: chunks, include_comm: false };
+        let out = round_robin_schedule(&platform, &loads, &cfg).unwrap();
+        let mut shipped = vec![0.0f64; loads.len()];
+        for c in &out.chunk_log {
+            shipped[c.load] += c.data;
+        }
+        for (j, load) in loads.iter().enumerate() {
+            let tol = 4.0 * chunks as f64 * f64::EPSILON * load.size;
+            prop_assert!((shipped[j] - load.size).abs() <= tol,
+                "load {j}: shipped {} of {} (chunks={chunks})", shipped[j], load.size);
+        }
+    }
+
+    #[test]
+    fn policy_engines_match_linear_scan_references(
+        (platform, loads) in instance(),
+        order in admission_order(),
+        installments in installment_count(),
+    ) {
+        // The cached-key engines must reproduce the rescan-everything
+        // references bit for bit — offline and online, every policy,
+        // preemptive and not.
+        let cfg = PolicyConfig { order, installments };
+        let off = policy_schedule(&platform, &loads, &cfg).unwrap();
+        let off_ref = policy_schedule_reference(&platform, &loads, &cfg).unwrap();
+        prop_assert_eq!(off, off_ref);
+        let on = online_schedule(&platform, &loads, &cfg).unwrap();
+        let on_ref = online_schedule_reference(&platform, &loads, &cfg).unwrap();
+        prop_assert_eq!(on, on_ref);
+    }
+
+    #[test]
+    fn policy_stretch_is_at_least_one(
+        (platform, loads) in instance(),
+        order in admission_order(),
+        installments in installment_count(),
+    ) {
+        // Against the granularity-matched alone denominator, no policy —
+        // FIFO, SRPT or weighted stretch, preemptive or not, offline or
+        // online — can push a load's stretch below 1: contention only
+        // ever delays installments.
+        let cfg = PolicyConfig { order, installments };
+        for schedule in [policy_schedule, online_schedule] {
+            let out = schedule(&platform, &loads, &cfg).unwrap();
+            for m in &out.report.per_load {
+                prop_assert!(m.stretch() >= 1.0 - 1e-9,
+                    "{order:?} k={installments}: stretch {}", m.stretch());
+            }
+        }
+    }
+
+    #[test]
+    fn policy_conserves_and_respects_releases(
+        (platform, loads) in instance(),
+        order in admission_order(),
+        installments in installment_count(),
+    ) {
+        let cfg = PolicyConfig { order, installments };
+        let out = online_schedule(&platform, &loads, &cfg).unwrap();
+        // Installments never start before their load's release, never
+        // overlap (one platform), and each load is conserved exactly.
+        let mut prev_finish = 0.0f64;
+        for e in &out.installment_log {
+            prop_assert!(e.start >= loads[e.load].release);
+            prop_assert!(e.start >= prev_finish - 1e-9 * prev_finish.max(1.0));
+            prev_finish = e.finish;
+        }
+        for (j, load) in loads.iter().enumerate() {
+            let shipped: f64 = out.shares[j].iter().sum();
+            prop_assert!((shipped - load.size).abs() < 1e-9 * load.size.max(1.0));
+            let queued: f64 = out.installment_log
+                .iter()
+                .filter(|e| e.load == j)
+                .map(|e| e.data)
+                .sum();
+            let tol = 4.0 * installments as f64 * f64::EPSILON * load.size;
+            prop_assert!((queued - load.size).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn online_equals_offline_when_everything_is_released(
+        (platform, loads) in instance_all_released(),
+        order in admission_order(),
+        installments in installment_count(),
+    ) {
+        // With every load released at 0 the online scheduler has full
+        // knowledge from the first decision: it must take exactly the
+        // offline (clairvoyant) path, bit for bit.
+        let cfg = PolicyConfig { order, installments };
+        let off = policy_schedule(&platform, &loads, &cfg).unwrap();
+        let on = online_schedule(&platform, &loads, &cfg).unwrap();
+        prop_assert_eq!(off, on);
+    }
+
+    #[test]
+    fn single_immediate_load_policy_is_the_single_load_solver(
+        speeds in proptest::collection::vec(0.2f64..10.0, 1..8),
+        size in 0.5f64..500.0,
+        alpha in 1.0f64..3.0,
+        order in admission_order(),
+    ) {
+        // The policy anchor: one immediate load, one installment, any
+        // admission order — the schedule IS the cold single-load solve.
+        let platform = Platform::from_speeds(&speeds).unwrap();
+        let load = LoadSpec::immediate(size, alpha).unwrap();
+        let cfg = PolicyConfig { order, installments: 1 };
+        let direct = nonlinear::equal_finish_parallel(&platform, size, alpha).unwrap();
+        for schedule in [policy_schedule, online_schedule] {
+            let out = schedule(&platform, &[load], &cfg).unwrap();
+            prop_assert_eq!(out.report.makespan(), direct.makespan);
+            prop_assert_eq!(&out.shares[0], &direct.x);
+            prop_assert_eq!(out.report.per_load[0].stretch(), 1.0);
+        }
     }
 }
