@@ -17,6 +17,11 @@
 //!   of `dlt-multiload` (SRPT selection over an incrementally maintained
 //!   pending set) vs its rescan-everything linear reference, on a
 //!   many-load arrival stream;
+//! * `multiload_service` — the streaming service engine of
+//!   `dlt-multiload` (indexed-heap pending set, `O(log n)` selection)
+//!   vs the batch `online_schedule` engine (linear selection), on a
+//!   4096-load burst; the record also carries the service's
+//!   decisions-per-second throughput;
 //! * the `solver` group — the safeguarded-Newton + warm-start
 //!   `equal_finish_parallel` vs the nested-bisection oracle
 //!   (`equal_finish_parallel_reference`), on a FIFO-style sequence of
@@ -40,8 +45,9 @@ use dlt_bench::BENCH_SEED;
 use dlt_core::nonlinear;
 use dlt_multiload::{
     online_schedule_reference_with_alone, online_schedule_with_alone,
-    round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, AdmissionOrder,
-    LoadSpec, MultiLoadConfig, PolicyConfig,
+    round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, serve_trace,
+    AdmissionOrder, DiscardCompletions, InstallmentPolicy, LoadSpec, MultiLoadConfig, PolicyConfig,
+    ServiceConfig,
 };
 use dlt_partition::{peri_sum_partition_reference, PeriSumDp};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
@@ -137,6 +143,36 @@ fn policy_instance(
     let config = PolicyConfig {
         order: AdmissionOrder::Srpt,
         installments,
+    };
+    let alone = vec![1.0; batch.len()];
+    (platform, batch, config, alone)
+}
+
+/// Service-engine burst: `loads` α-power loads all released at time 0 on
+/// a small platform — the deepest possible backlog, where *selection*
+/// dominates. The baseline is the batch engine `online_schedule` (cached
+/// keys, but a linear scan of the whole pending set per decision); the
+/// optimized side is the streaming service engine at its oracle defaults
+/// (window 1, one installment, SRPT), whose indexed heap pops the next
+/// load in `O(log n)`. Both sides issue identical equal-finish solves —
+/// the service engine is property-tested bit-identical to the baseline
+/// here — so the ratio isolates the pending-set data structure.
+fn service_instance(p: usize, loads: usize) -> (Platform, Vec<LoadSpec>, ServiceConfig, Vec<f64>) {
+    let platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
+        .generate(BENCH_SEED)
+        .unwrap();
+    let batch: Vec<LoadSpec> = (0..loads)
+        .map(|j| {
+            let size = 200.0 + 13.0 * (j % 17) as f64;
+            let alpha = 1.0 + 0.25 * (j % 3) as f64;
+            LoadSpec::immediate(size, alpha).unwrap()
+        })
+        .collect();
+    let config = ServiceConfig {
+        order: AdmissionOrder::Srpt,
+        batch: 1,
+        installments: InstallmentPolicy::Fixed(1),
+        track_stretch: false,
     };
     let alone = vec![1.0; batch.len()];
     (platform, batch, config, alone)
@@ -311,6 +347,44 @@ fn bench_policy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_service(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("multiload_service");
+    for &(p, loads) in &[(8usize, 1_024usize), (8, 4_096)] {
+        let (platform, batch, config, alone) = service_instance(p, loads);
+        let policy_cfg = PolicyConfig {
+            order: config.order,
+            installments: 1,
+        };
+        let id = format!("p{p}_l{loads}");
+        group.bench_with_input(BenchmarkId::new("indexed_heap_service", &id), &p, |b, _| {
+            b.iter(|| {
+                serve_trace(
+                    black_box(&platform),
+                    batch.iter().copied(),
+                    &config,
+                    &mut DiscardCompletions,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch_linear_select", &id), &p, |b, _| {
+            b.iter(|| {
+                online_schedule_with_alone(
+                    black_box(&platform),
+                    black_box(&batch),
+                    &policy_cfg,
+                    &alone,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Minimum wall-clock of `reps` calls, in nanoseconds (min is the most
 /// reproducible point estimate for a CPU-bound kernel).
 fn time_min_ns<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
@@ -375,6 +449,27 @@ fn emit_json(c: &mut Criterion) {
         online_schedule_with_alone(&po_platform, &po_batch, &po_config, &po_alone).unwrap()
     });
 
+    let (se_platform, se_batch, se_config, se_alone) = service_instance(8, 4_096);
+    let se_policy_cfg = PolicyConfig {
+        order: se_config.order,
+        installments: 1,
+    };
+    let se_base = time_min_ns(reps(10), || {
+        online_schedule_with_alone(&se_platform, &se_batch, &se_policy_cfg, &se_alone).unwrap()
+    });
+    let se_opt = time_min_ns(reps(10), || {
+        serve_trace(
+            &se_platform,
+            se_batch.iter().copied(),
+            &se_config,
+            &mut DiscardCompletions,
+        )
+        .unwrap()
+    });
+    // The service's headline number: admission decisions committed per
+    // wall-clock second on the burst (one decision per load at k = 1).
+    let se_decisions_per_sec = se_batch.len() as f64 / (se_opt / 1e9);
+
     let record = |name: &str, config: &str, baseline: &str, optimized: &str, b: f64, o: f64| {
         format!(
             "  {{\n    \"bench\": \"{name}\",\n    \"config\": \"{config}\",\n    \
@@ -385,7 +480,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{},\n{},\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -419,6 +514,17 @@ fn emit_json(c: &mut Criterion) {
             po_opt,
         ),
         record(
+            "multiload_service",
+            &format!(
+                "p=8, loads=4096 burst, SRPT batch=1 k=1, uniform profile, \
+                 {se_decisions_per_sec:.0} decisions/sec"
+            ),
+            "batch engine, linear pending-set selection (online_schedule)",
+            "streaming service engine, indexed heap (serve_trace)",
+            se_base,
+            se_opt,
+        ),
+        record(
             "solver_equal_finish",
             "p=512, 8 shrinking installments, alpha=1.5, uniform profile",
             "nested bisection (equal_finish_parallel_reference)",
@@ -441,11 +547,14 @@ fn emit_json(c: &mut Criterion) {
     }
     eprintln!(
         "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x, \
-         multiload_policy {:.1}x, solver_equal_finish {:.1}x",
+         multiload_policy {:.1}x, multiload_service {:.1}x ({:.0} decisions/sec), \
+         solver_equal_finish {:.1}x",
         sim_base / sim_opt,
         dp_base / dp_opt,
         ml_base / ml_opt,
         po_base / po_opt,
+        se_base / se_opt,
+        se_decisions_per_sec,
         sv_base / sv_opt
     );
 }
@@ -456,6 +565,7 @@ criterion_group!(
     bench_peri_sum,
     bench_multiload,
     bench_policy,
+    bench_service,
     bench_solver,
     emit_json
 );

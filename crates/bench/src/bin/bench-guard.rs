@@ -60,9 +60,13 @@ fn run(committed_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), Str
             Some(&new) => {
                 let floor = old / tolerance;
                 let verdict = if new < floor { "REGRESSED" } else { "ok" };
+                // The measured-vs-committed ratio is printed for passing
+                // kernels too: a slow drift toward the floor is visible
+                // in the logs long before the guard trips.
                 println!(
                     "bench-guard: {name:<24} committed {old:>7.2}x  fresh {new:>7.2}x  \
-                     floor {floor:>6.2}x  {verdict}"
+                     ratio {:>5.2}  floor {floor:>6.2}x  {verdict}",
+                    new / old
                 );
                 if new < floor {
                     failures.push(format!(

@@ -24,6 +24,10 @@ use dlt_experiments::rho::run_rho_table;
 use dlt_experiments::runner::{parse_flags, thread_count, write_and_print};
 use dlt_experiments::sec2::{run_sec2, PAPER_ALPHAS};
 use dlt_experiments::sec3::{run_hetero_sort, run_sample_sort};
+use dlt_experiments::service::{
+    default_cells, run_service, service_table, smoke_cells, DEFAULT_SERVICE_LOADS,
+    DEFAULT_SERVICE_P, DEFAULT_UTILIZATION,
+};
 use dlt_experiments::traces::{fig1_sample_sort_trace, fig3_matmul_trace};
 use dlt_platform::SpeedDistribution;
 
@@ -161,6 +165,37 @@ fn main() {
         );
         let t = multiload_policy_table(profile.name(), mlp_p, &pts);
         write_and_print(&t, &format!("multiload_policy_{}", profile.name()));
+    }
+
+    println!("== Extension: service engine (streamed arrivals) ==");
+    {
+        // Mirrors the `multiload-service` binary defaults exactly, so the
+        // committed full-scale CSVs stay regenerable from either entry
+        // point; smoke shrinks to the binary's `--smoke` shape.
+        let (svc_p, svc_loads, svc_n) = if smoke {
+            (4, 2_000, 100.0)
+        } else {
+            (DEFAULT_SERVICE_P, DEFAULT_SERVICE_LOADS, 1000.0)
+        };
+        let svc_cells = if smoke {
+            smoke_cells()
+        } else {
+            default_cells()
+        };
+        for profile in SpeedDistribution::paper_profiles() {
+            let pts = run_service(
+                &profile,
+                svc_p,
+                svc_loads,
+                svc_n,
+                &DEFAULT_ALPHAS,
+                DEFAULT_UTILIZATION,
+                &svc_cells,
+                seed,
+            );
+            let t = service_table(profile.name(), svc_p, svc_loads, DEFAULT_UTILIZATION, &pts);
+            write_and_print(&t, &format!("multiload_service_{}", profile.name()));
+        }
     }
 
     println!("== Extension: affinity-aware dispatch (paper's conclusion) ==");

@@ -19,6 +19,7 @@
 //! | §4.1.2 partition quality | [`partition_quality::run_partition_quality`] | `partition-quality` |
 //! | Conclusion: affinity dispatch (extension) | [`affinity::run_affinity`] | `affinity` |
 //! | Multi-load scheduling (extension, Gallet–Robert–Vivien) | [`multiload::run_multiload`] | `multiload` |
+//! | Service-engine throughput (extension, streamed arrivals) | [`service::run_service`] | `multiload-service` |
 //!
 //! Every runner takes explicit seeds; the binaries default to the seeds
 //! used to produce the numbers quoted in `EXPERIMENTS.md`.
@@ -32,6 +33,7 @@ pub mod rho;
 pub mod runner;
 pub mod sec2;
 pub mod sec3;
+pub mod service;
 pub mod traces;
 
 pub use runner::{

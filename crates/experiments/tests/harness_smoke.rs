@@ -3,7 +3,7 @@
 //! trial counts (the full-scale numbers live in EXPERIMENTS.md).
 
 use dlt_experiments::{
-    affinity, fig4, footprint, multiload, partition_quality, rho, sec2, sec3, traces,
+    affinity, fig4, footprint, multiload, partition_quality, rho, sec2, sec3, service, traces,
 };
 use dlt_multiload::SchedulerKind;
 use dlt_outer::Strategy;
@@ -162,6 +162,40 @@ fn multiload_policy_runner_exercises_every_admission_order() {
     for pt in &pts {
         assert!(pt.mean_stretch.min() >= 1.0 - 1e-9);
     }
+}
+
+#[test]
+fn service_runner_oracle_cell_matches_online_schedule() {
+    use dlt_multiload::{
+        online_schedule_with_alone, AdmissionOrder, InstallmentPolicy, PolicyConfig,
+    };
+
+    // The service sweep's window-1/one-installment cell must BE the
+    // online policy scheduler — recompute the same trace through
+    // `online_schedule_with_alone` and compare the makespan bitwise.
+    let profile = SpeedDistribution::paper_uniform();
+    let (p, loads, base, seed) = (4usize, 60usize, 100.0, 5u64);
+    let cells = [service::ServiceCell {
+        order: AdmissionOrder::Srpt,
+        batch: 1,
+        installments: InstallmentPolicy::Fixed(1),
+    }];
+    let pts = service::run_service(&profile, p, loads, base, &[1.0, 1.5], 0.8, &cells, seed);
+
+    let platform = PlatformSpec::new(p, profile)
+        .generate_stream(seed, 0)
+        .unwrap();
+    let spacing = service::calibrated_spacing(&platform, base, &[1.0, 1.5], 0.8);
+    let trace: Vec<_> =
+        service::arrival_trace(loads, base, vec![1.0, 1.5], spacing, seed).collect();
+    let cfg = PolicyConfig {
+        order: AdmissionOrder::Srpt,
+        installments: 1,
+    };
+    let alone = dlt_multiload::alone_policy_makespans(&platform, &trace, 1).unwrap();
+    let oracle = online_schedule_with_alone(&platform, &trace, &cfg, &alone).unwrap();
+    assert_eq!(pts[0].report.makespan, oracle.report.makespan());
+    assert_eq!(pts[0].report.loads, loads as u64);
 }
 
 #[test]
@@ -336,6 +370,26 @@ fn bin_multiload_policy_smoke() {
     );
     // The sweep covers every admission order.
     assert!(out.contains("fifo") && out.contains("srpt") && out.contains("weighted_stretch"));
+}
+
+#[test]
+fn bin_multiload_service_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_multiload-service"),
+        "mlservice",
+        &[
+            "--smoke",
+            "--loads",
+            "200",
+            "--seed",
+            "1",
+            "--assert-peak-pending",
+            "200",
+        ],
+        true,
+    );
+    assert!(out.contains("decisions_per_sec"));
+    assert!(out.contains("fifo") && out.contains("weighted_stretch"));
 }
 
 #[test]

@@ -34,6 +34,21 @@ pub enum MultiLoadError {
         /// Length of the alone-makespan slice supplied.
         alone: usize,
     },
+    /// An admission-window (batch) size of zero was requested.
+    ZeroBatch,
+    /// A service configuration was internally inconsistent (e.g. an
+    /// adaptive installment range with `min > max`, or a weighted-stretch
+    /// order with stretch tracking disabled).
+    InvalidServiceConfig {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
+    /// A streamed arrival trace was not sorted by non-decreasing release
+    /// time — the service engine admits strictly in stream order.
+    UnsortedArrivals {
+        /// Zero-based position of the first out-of-order arrival.
+        index: u64,
+    },
     /// The underlying single-load solver failed.
     Solver(DltError),
 }
@@ -56,6 +71,14 @@ impl std::fmt::Display for MultiLoadError {
             Self::AloneLengthMismatch { loads, alone } => write!(
                 f,
                 "need one alone-makespan per load: batch has {loads}, slice has {alone}"
+            ),
+            Self::ZeroBatch => write!(f, "admission window (batch) must be >= 1"),
+            Self::InvalidServiceConfig { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
+            Self::UnsortedArrivals { index } => write!(
+                f,
+                "arrival trace must be sorted by release time: arrival {index} is out of order"
             ),
             Self::Solver(e) => write!(f, "single-load solver failed: {e}"),
         }

@@ -35,11 +35,23 @@
 //!   knowledge. Each engine keeps a linear-scan reference
 //!   (bit-identical, property-tested), mirroring the round-robin pair.
 //!
+//! On top of the batch schedulers sits the **service engine**
+//! ([`service::serve_trace`]): an event-driven online scheduler that
+//! ingests a *streamed* arrival trace — millions of loads — at steady
+//! memory, with an indexed pending set ([`event_queue::PendingSet`]:
+//! `O(log n)` heap selection for static-key orders, lazy re-keying for
+//! weighted stretch), windowed admission that merges same-α winners into
+//! one warm-started solve, and adaptive installment counts. At its
+//! defaults (window 1, fixed installments) it reproduces
+//! [`policy::online_schedule`] bit for bit; its own linear-rescan twin
+//! ([`service::serve_trace_reference`]) gates the batched/adaptive modes.
+//!
 //! Per-load metrics (start, finish, flow time, stretch) and aggregates
 //! (makespan, mean flow, mean/max stretch, total data) live in
-//! [`metrics`]; the `multiload` and `multiload-policy` binaries of
-//! `dlt-experiments` sweep them over load count, platform heterogeneity,
-//! nonlinearity and admission policy.
+//! [`metrics`]; the `multiload`, `multiload-policy` and
+//! `multiload-service` binaries of `dlt-experiments` sweep them over load
+//! count, platform heterogeneity, nonlinearity, admission policy and
+//! arrival-stream pressure.
 //!
 //! ```
 //! use dlt_multiload::{fifo_schedule, round_robin_schedule, LoadSpec, MultiLoadConfig};
@@ -57,13 +69,16 @@
 //! ```
 
 pub mod error;
+pub mod event_queue;
 pub mod fifo;
 pub mod load;
 pub mod metrics;
 pub mod policy;
 pub mod round_robin;
+pub mod service;
 
 pub use error::MultiLoadError;
+pub use event_queue::{PendingEntry, PendingSet};
 pub use fifo::{fifo_schedule, FifoOutcome};
 pub use load::{release_order, LoadSpec};
 pub use metrics::{AggregateMetrics, LoadMetrics, MultiLoadReport, SchedulerKind};
@@ -77,4 +92,8 @@ pub use round_robin::{
     alone_makespans, round_robin_schedule, round_robin_schedule_reference,
     round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, ChunkExec,
     MultiLoadConfig, RoundRobinOutcome,
+};
+pub use service::{
+    serve_trace, serve_trace_reference, CompletedLoad, CompletionSink, DiscardCompletions,
+    InstallmentPolicy, ServiceConfig, ServiceReport,
 };

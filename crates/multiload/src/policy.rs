@@ -110,16 +110,24 @@ impl AdmissionOrder {
 
     /// Priority key of one candidate load: **smaller is served first**,
     /// ties broken by batch index. `work_est` is the remaining-work
-    /// estimate `R^α / Σ s_i`; both engines must feed the identically
-    /// computed value so their keys (and therefore their schedules) agree
-    /// bit for bit.
-    fn key(&self, spec: &LoadSpec, work_est: f64, alone: f64, now: f64) -> f64 {
+    /// estimate `R^α / Σ s_i`; every engine — including the service
+    /// engine's pending set — must feed the identically computed values so
+    /// their keys (and therefore their schedules) agree bit for bit.
+    pub(crate) fn key(&self, release: f64, work_est: f64, alone: f64, now: f64) -> f64 {
         match self {
-            Self::Fifo => spec.release,
+            Self::Fifo => release,
             Self::Srpt => work_est,
             // Negated: the *largest* urgency is served first.
-            Self::WeightedStretch => -(((now - spec.release).max(0.0) + work_est) / alone),
+            Self::WeightedStretch => -(((now - release).max(0.0) + work_est) / alone),
         }
+    }
+
+    /// Whether the key depends on the decision instant `now`. Static-key
+    /// orders (FIFO, SRPT) can live in a priority heap between decisions;
+    /// a time-varying key (weighted stretch) must be re-evaluated lazily
+    /// at every decision ([`crate::event_queue::PendingSet`]).
+    pub(crate) fn key_is_static(&self) -> bool {
+        !matches!(self, Self::WeightedStretch)
     }
 }
 
@@ -181,7 +189,7 @@ pub struct PolicyOutcome {
 /// queue). Both engines and [`alone_policy_makespans`] must use this one
 /// definition for their solve sequences to agree bit for bit.
 #[inline]
-fn next_installment(remaining: f64, left: usize) -> f64 {
+pub(crate) fn next_installment(remaining: f64, left: usize) -> f64 {
     if left <= 1 {
         remaining
     } else {
@@ -194,8 +202,33 @@ fn next_installment(remaining: f64, left: usize) -> f64 {
 /// Crude on heterogeneous platforms, but monotone in `R` and cheap — and
 /// the *one* definition both engines share.
 #[inline]
-fn work_estimate(remaining: f64, alpha: f64, speed_sum: f64) -> f64 {
+pub(crate) fn work_estimate(remaining: f64, alpha: f64, speed_sum: f64) -> f64 {
     remaining.powf(alpha) / speed_sum
+}
+
+/// Alone-on-the-platform makespan of **one** load at installment
+/// granularity `installments`: `Σ` of its installment solves back to back
+/// (the exact `remaining / left` size sequence). The caller threads the
+/// warm-start handle; [`alone_policy_makespans`] and the service engine's
+/// admission-time stretch denominators both go through this one function,
+/// which is what keeps their solve sequences — and therefore their bits —
+/// aligned.
+pub(crate) fn alone_installment_makespan(
+    platform: &Platform,
+    load: &LoadSpec,
+    installments: usize,
+    config: &nonlinear::SolverConfig,
+    warm: &mut nonlinear::WarmStart,
+) -> Result<f64, MultiLoadError> {
+    let mut remaining = load.size;
+    let mut total = 0.0;
+    for left in (1..=installments).rev() {
+        let inst = next_installment(remaining, left);
+        total += nonlinear::equal_finish_parallel_with(platform, inst, load.alpha, config, warm)?
+            .makespan;
+        remaining = if left == 1 { 0.0 } else { remaining - inst };
+    }
+    Ok(total)
 }
 
 /// Shared bookkeeping of both engines: per-load timings, shares, worker
@@ -330,19 +363,7 @@ pub fn alone_policy_makespans(
     let mut warm = nonlinear::WarmStart::new();
     loads
         .iter()
-        .map(|load| {
-            let mut remaining = load.size;
-            let mut total = 0.0;
-            for left in (1..=installments).rev() {
-                let inst = next_installment(remaining, left);
-                total += nonlinear::equal_finish_parallel_with(
-                    platform, inst, load.alpha, &config, &mut warm,
-                )?
-                .makespan;
-                remaining = if left == 1 { 0.0 } else { remaining - inst };
-            }
-            Ok(total)
-        })
+        .map(|load| alone_installment_makespan(platform, load, installments, &config, &mut warm))
         .collect()
 }
 
@@ -528,7 +549,7 @@ fn engine_reference(
                 continue;
             }
             let est = work_estimate(remaining[j], load.alpha, speed_sum);
-            let key = config.order.key(load, est, alone[j], now);
+            let key = config.order.key(load.release, est, alone[j], now);
             let better = best.is_none_or(|(bk, _)| key.total_cmp(&bk).is_lt());
             if better {
                 best = Some((key, j));
@@ -628,7 +649,7 @@ fn engine_fast(
         // position in `active` is remembered for O(1) removal.
         let mut best: Option<(f64, usize, usize)> = None;
         for (pos, &j) in active.iter().enumerate() {
-            let key = config.order.key(&loads[j], est[j], alone[j], now);
+            let key = config.order.key(loads[j].release, est[j], alone[j], now);
             // (key, index) lexicographic: `active` is not index-sorted
             // (swap_remove), so ties must compare indices explicitly.
             let better = best.is_none_or(|(bk, bj, _)| match key.total_cmp(&bk) {

@@ -1,13 +1,16 @@
 //! Property-based tests for the multi-load schedulers: conservation,
 //! release-time feasibility, heap-vs-reference bit-identity, the `N = 1`
-//! degeneration to the single-load solvers, and the admission-policy
-//! engines against their linear-scan references.
+//! degeneration to the single-load solvers, the admission-policy engines
+//! against their linear-scan references, and the service engine's indexed
+//! pending set against both its rescan reference and the
+//! `online_schedule` oracle.
 
 use dlt_core::nonlinear;
 use dlt_multiload::{
     fifo_schedule, online_schedule, online_schedule_reference, policy_schedule,
-    policy_schedule_reference, round_robin_schedule, round_robin_schedule_reference,
-    AdmissionOrder, LoadSpec, MultiLoadConfig, PolicyConfig,
+    policy_schedule_reference, round_robin_schedule, round_robin_schedule_reference, serve_trace,
+    serve_trace_reference, AdmissionOrder, CompletedLoad, InstallmentPolicy, LoadSpec,
+    MultiLoadConfig, PolicyConfig, ServiceConfig,
 };
 use dlt_platform::Platform;
 use dlt_sim::{simulate_demand, DemandConfig, DemandTask};
@@ -56,6 +59,28 @@ fn admission_order() -> impl Strategy<Value = AdmissionOrder> {
 /// Installment counts: 1 (non-preemptive) through fine-grained.
 fn installment_count() -> impl Strategy<Value = usize> {
     (0usize..8).prop_map(|c| c.max(1))
+}
+
+/// Fixed and adaptive installment policies of the service engine.
+fn installment_policy() -> impl Strategy<Value = InstallmentPolicy> {
+    (any::<bool>(), 1usize..4, 0usize..4).prop_map(|(fixed, k, extra)| {
+        if fixed {
+            InstallmentPolicy::Fixed(k)
+        } else {
+            InstallmentPolicy::Adaptive {
+                min: k,
+                max: k + extra,
+            }
+        }
+    })
+}
+
+/// The service engine admits strictly in stream order, so its oracle
+/// comparisons need release-sorted batches (the sort is stable: ties keep
+/// their batch order, matching the engines' id tie-break).
+fn sort_by_release(mut loads: Vec<LoadSpec>) -> Vec<LoadSpec> {
+    loads.sort_by(|a, b| a.release.total_cmp(&b.release));
+    loads
 }
 
 proptest! {
@@ -336,6 +361,147 @@ proptest! {
             prop_assert_eq!(out.report.makespan(), direct.makespan);
             prop_assert_eq!(&out.shares[0], &direct.x);
             prop_assert_eq!(out.report.per_load[0].stretch(), 1.0);
+        }
+    }
+
+    #[test]
+    fn service_defaults_match_online_schedule_bitwise(
+        (platform, loads) in instance(),
+        order in admission_order(),
+        installments in installment_count(),
+    ) {
+        // At window 1 + fixed installments the service engine IS the
+        // online scheduler: every admission, selection, solve, start,
+        // finish, share and preemption must match bit for bit.
+        let loads = sort_by_release(loads);
+        let cfg = ServiceConfig {
+            order,
+            batch: 1,
+            installments: InstallmentPolicy::Fixed(installments),
+            track_stretch: true,
+        };
+        let mut done: Vec<CompletedLoad> = Vec::new();
+        let report = serve_trace(&platform, loads.iter().copied(), &cfg, &mut done).unwrap();
+        let oracle = online_schedule(&platform, &loads, &PolicyConfig { order, installments })
+            .unwrap();
+        prop_assert_eq!(report.makespan, oracle.report.makespan());
+        prop_assert_eq!(&report.worker_finish, &oracle.report.worker_finish);
+        prop_assert_eq!(report.preemptions, oracle.preemptions as u64);
+        prop_assert_eq!(report.decisions, report.solves);
+        prop_assert_eq!(done.len(), loads.len());
+        for c in &done {
+            let j = c.id as usize;
+            prop_assert_eq!(c.start, oracle.report.per_load[j].start);
+            prop_assert_eq!(c.finish, oracle.report.per_load[j].finish);
+            prop_assert_eq!(c.alone, oracle.report.per_load[j].alone);
+            prop_assert_eq!(&c.shares, &oracle.shares[j]);
+        }
+    }
+
+    #[test]
+    fn service_engine_matches_rescan_reference(
+        (platform, loads) in instance(),
+        order in admission_order(),
+        batch in 1usize..5,
+        policy in installment_policy(),
+    ) {
+        // The indexed pending set (heap / lazy re-keying) against the
+        // rescan-everything selector, across the full configuration cube
+        // the batch oracle cannot express: windows > 1 and adaptive
+        // installment counts.
+        let loads = sort_by_release(loads);
+        let cfg = ServiceConfig { order, batch, installments: policy, track_stretch: true };
+        let mut fast: Vec<CompletedLoad> = Vec::new();
+        let mut slow: Vec<CompletedLoad> = Vec::new();
+        let a = serve_trace(&platform, loads.iter().copied(), &cfg, &mut fast).unwrap();
+        let b = serve_trace_reference(&platform, &loads, &cfg, &mut slow).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn service_matches_reference_on_release_tie_heavy_instances(
+        p in 1usize..6,
+        n_loads in 1usize..13,
+        order in admission_order(),
+        batch in 1usize..4,
+        installments in 1usize..4,
+    ) {
+        // Homogeneous platform + identical loads + quantized releases
+        // (groups of 3 share an arrival instant): every selection is a
+        // key tie decided purely by arrival id — the harshest
+        // determinism check for the heap's tie-breaking.
+        let platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
+        let loads: Vec<LoadSpec> = (0..n_loads)
+            .map(|j| LoadSpec::new(12.0, 2.0, (j / 3) as f64 * 5.0).unwrap())
+            .collect();
+        let cfg = ServiceConfig {
+            order,
+            batch,
+            installments: InstallmentPolicy::Fixed(installments),
+            track_stretch: true,
+        };
+        let mut fast: Vec<CompletedLoad> = Vec::new();
+        let mut slow: Vec<CompletedLoad> = Vec::new();
+        let a = serve_trace(&platform, loads.iter().copied(), &cfg, &mut fast).unwrap();
+        let b = serve_trace_reference(&platform, &loads, &cfg, &mut slow).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(fast, slow);
+        // And at window 1 the batch oracle must agree too, ties and all.
+        let one = ServiceConfig { batch: 1, ..cfg };
+        let mut done: Vec<CompletedLoad> = Vec::new();
+        let report = serve_trace(&platform, loads.iter().copied(), &one, &mut done).unwrap();
+        let oracle = online_schedule(&platform, &loads, &PolicyConfig { order, installments })
+            .unwrap();
+        prop_assert_eq!(report.preemptions, oracle.preemptions as u64);
+        for c in &done {
+            prop_assert_eq!(c.finish, oracle.report.per_load[c.id as usize].finish);
+        }
+    }
+
+    #[test]
+    fn service_burst_admits_everything_then_drains(
+        (platform, loads) in instance_all_released(),
+        order in admission_order(),
+        batch in 1usize..5,
+        policy in installment_policy(),
+    ) {
+        // All arrivals at once: the pending set peaks at exactly the
+        // trace length on the first admission sweep, and the engine still
+        // matches the rescan reference decision for decision.
+        let cfg = ServiceConfig { order, batch, installments: policy, track_stretch: true };
+        let mut fast: Vec<CompletedLoad> = Vec::new();
+        let mut slow: Vec<CompletedLoad> = Vec::new();
+        let a = serve_trace(&platform, loads.iter().copied(), &cfg, &mut fast).unwrap();
+        let b = serve_trace_reference(&platform, &loads, &cfg, &mut slow).unwrap();
+        prop_assert_eq!(a.pending_high_water, loads.len());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn service_conserves_and_keeps_the_stretch_floor(
+        (platform, loads) in instance(),
+        order in admission_order(),
+        batch in 1usize..5,
+        policy in installment_policy(),
+    ) {
+        // Merged windows split one solve across members, adaptive counts
+        // vary the granularity — but each load still receives exactly its
+        // data, and against its own granularity-matched alone denominator
+        // no load's stretch drops below 1.
+        let loads = sort_by_release(loads);
+        let cfg = ServiceConfig { order, batch, installments: policy, track_stretch: true };
+        let mut done: Vec<CompletedLoad> = Vec::new();
+        let report = serve_trace(&platform, loads.iter().copied(), &cfg, &mut done).unwrap();
+        prop_assert_eq!(report.loads as usize, loads.len());
+        for c in &done {
+            let shipped: f64 = c.shares.iter().sum();
+            prop_assert!((shipped - c.spec.size).abs() < 1e-9 * c.spec.size.max(1.0),
+                "load {}: shipped {shipped} of {}", c.id, c.spec.size);
+            prop_assert!(c.stretch() >= 1.0 - 1e-9,
+                "load {}: stretch {}", c.id, c.stretch());
+            prop_assert!(c.start >= c.spec.release);
         }
     }
 }

@@ -1,0 +1,119 @@
+//! Steady-memory soak of the service engine: a 10⁵-load streamed arrival
+//! trace, asserting that the pending-set high-water mark stays bounded by
+//! the arrival backlog — the live state is `O(pending)`, never
+//! `O(total loads)`. Loads are linear (`α = 1`, the solver's cheap exact
+//! path) so the soak stays fast in debug builds.
+
+use dlt_multiload::{
+    serve_trace, AdmissionOrder, CompletedLoad, CompletionSink, DiscardCompletions,
+    InstallmentPolicy, LoadSpec, ServiceConfig,
+};
+use dlt_platform::Platform;
+
+const N: usize = 100_000;
+
+/// Deterministic paced trace: sizes cycle through 13 values, arrivals are
+/// evenly spaced. With `spacing` comfortably above the mean service time
+/// the queue stays shallow; the trace is generated lazily — the test
+/// never materializes the 10⁵ specs.
+fn trace(n: usize, spacing: f64) -> impl Iterator<Item = LoadSpec> {
+    (0..n).map(move |j| {
+        let size = 5.0 + (j % 13) as f64;
+        LoadSpec::new(size, 1.0, j as f64 * spacing).unwrap()
+    })
+}
+
+/// Sink that keeps only counters — a completion-order checksum without
+/// per-load storage, so the test itself is steady-memory too.
+#[derive(Default)]
+struct Checksum {
+    completed: u64,
+    last_finish: f64,
+    monotone: bool,
+}
+
+impl Checksum {
+    fn new() -> Self {
+        Self {
+            completed: 0,
+            last_finish: 0.0,
+            monotone: true,
+        }
+    }
+}
+
+impl CompletionSink for Checksum {
+    fn completed(&mut self, load: CompletedLoad) {
+        self.completed += 1;
+        if load.finish < self.last_finish {
+            self.monotone = false;
+        }
+        self.last_finish = load.finish;
+    }
+}
+
+#[test]
+fn hundred_thousand_loads_at_steady_memory() {
+    let platform = Platform::from_speeds(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    // The mean-size (11) load takes ≈ 4.05 alone on this platform
+    // (communication included), so spacing 8.0 holds utilization near
+    // 50% — loaded enough that loads genuinely queue, light enough that
+    // the backlog stays bounded.
+    let cfg = ServiceConfig {
+        order: AdmissionOrder::Srpt,
+        batch: 1,
+        installments: InstallmentPolicy::Fixed(1),
+        track_stretch: false,
+    };
+    let mut sink = Checksum::new();
+    let report = serve_trace(&platform, trace(N, 8.0), &cfg, &mut sink).unwrap();
+    assert_eq!(report.loads, N as u64);
+    assert_eq!(sink.completed, N as u64);
+    assert!(sink.monotone, "completions must stream in finish order");
+    assert_eq!(report.decisions, N as u64);
+    assert!(
+        report.pending_high_water <= 64,
+        "backlog peaked at {} — live state must track the arrival backlog, \
+         not the trace length",
+        report.pending_high_water
+    );
+    assert!(report.makespan >= (N - 1) as f64 * 8.0);
+    let total: f64 = (0..N).map(|j| 5.0 + (j % 13) as f64).sum();
+    assert!((report.total_data - total).abs() < 1e-6 * total);
+}
+
+#[test]
+fn soak_under_batching_and_adaptive_installments() {
+    let platform = Platform::from_speeds(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    // A quarter of the trace at ~90% utilization: deeper transient
+    // queues exercise the adaptive pick without slowing the suite.
+    let cfg = ServiceConfig {
+        order: AdmissionOrder::Srpt,
+        batch: 8,
+        installments: InstallmentPolicy::Adaptive { min: 1, max: 8 },
+        track_stretch: false,
+    };
+    let report = serve_trace(&platform, trace(N / 4, 4.5), &cfg, &mut DiscardCompletions).unwrap();
+    assert_eq!(report.loads, (N / 4) as u64);
+    // Same-α windows merge: batching must amortize solves below the
+    // decision count.
+    assert!(report.solves < report.decisions);
+    assert!(report.pending_high_water <= 256);
+}
+
+#[test]
+fn weighted_stretch_soak_with_stretch_tracking() {
+    let platform = Platform::from_speeds(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    let cfg = ServiceConfig {
+        order: AdmissionOrder::WeightedStretch,
+        batch: 1,
+        installments: InstallmentPolicy::Fixed(1),
+        track_stretch: true,
+    };
+    let report = serve_trace(&platform, trace(N / 10, 8.0), &cfg, &mut DiscardCompletions).unwrap();
+    assert_eq!(report.loads, (N / 10) as u64);
+    assert_eq!(report.alone_solves, (N / 10) as u64);
+    assert!(report.mean_stretch() >= 1.0 - 1e-9);
+    assert!(report.max_stretch >= report.mean_stretch());
+    assert!(report.pending_high_water <= 64);
+}
