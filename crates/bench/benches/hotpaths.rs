@@ -17,6 +17,11 @@
 //!   of `dlt-multiload` (SRPT selection over an incrementally maintained
 //!   pending set) vs its rescan-everything linear reference, on a
 //!   many-load arrival stream;
+//! * `multiload_failure` — the same policy engine run through the
+//!   fault-injection layer (`online_schedule_with_failures`, cut in-flight
+//!   installments, requeue remainders, re-solve on the degraded platform)
+//!   vs its linear-rescan reference twin, on the same arrival stream
+//!   under periodic degradation waves;
 //! * `multiload_service` — the streaming service engine of
 //!   `dlt-multiload` (indexed-heap pending set, `O(log n)` selection)
 //!   vs the batch `online_schedule` engine (linear selection), on a
@@ -45,9 +50,10 @@ use dlt_bench::BENCH_SEED;
 use dlt_core::nonlinear;
 use dlt_multiload::{
     online_schedule_reference_with_alone, online_schedule_with_alone,
+    online_schedule_with_failures, online_schedule_with_failures_reference,
     round_robin_schedule_reference_with_alone, round_robin_schedule_with_alone, serve_trace,
-    AdmissionOrder, DiscardCompletions, InstallmentPolicy, LoadSpec, MultiLoadConfig, PolicyConfig,
-    ServiceConfig,
+    AdmissionOrder, DiscardCompletions, FailureEvent, FailureTrace, InstallmentPolicy, LoadSpec,
+    MultiLoadConfig, PolicyConfig, ServiceConfig,
 };
 use dlt_partition::{peri_sum_partition_reference, PeriSumDp};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
@@ -146,6 +152,25 @@ fn policy_instance(
     };
     let alone = vec![1.0; batch.len()];
     (platform, batch, config, alone)
+}
+
+/// Failure trace for the policy arrival stream: periodic slow-down
+/// waves sweeping the workers plus one mid-run drop-out — enough cuts
+/// that the interrupt/requeue path (retain the served prefix, requeue
+/// the remainder, re-solve on the degraded platform), not just healthy
+/// dispatch, shapes the comparison.
+fn failure_instance(p: usize, waves: usize) -> FailureTrace {
+    let events = (0..waves)
+        .map(|i| {
+            let at = 25.0 * (i + 1) as f64;
+            if i == waves / 2 {
+                FailureEvent::down(at, i % p)
+            } else {
+                FailureEvent::slow(at, i % p, 1.5 + 0.25 * (i % 3) as f64)
+            }
+        })
+        .collect();
+    FailureTrace::new(events).unwrap()
 }
 
 /// Service-engine burst: `loads` α-power loads all released at time 0 on
@@ -347,6 +372,45 @@ fn bench_policy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_failure(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("multiload_failure");
+    for &(p, loads, installments) in &[(8usize, 128usize, 2usize), (8, 768, 2)] {
+        let (platform, batch, config, _alone) = policy_instance(p, loads, installments);
+        let failures = failure_instance(p, 12);
+        let id = format!("p{p}_l{loads}_k{installments}");
+        group.bench_with_input(BenchmarkId::new("fast_failure_engine", &id), &p, |b, _| {
+            b.iter(|| {
+                online_schedule_with_failures(
+                    black_box(&platform),
+                    black_box(&batch),
+                    &config,
+                    black_box(&failures),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("linear_rescan_failure", &id),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    online_schedule_with_failures_reference(
+                        black_box(&platform),
+                        black_box(&batch),
+                        &config,
+                        black_box(&failures),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_service(c: &mut Criterion) {
     if smoke_mode() {
         return;
@@ -449,6 +513,16 @@ fn emit_json(c: &mut Criterion) {
         online_schedule_with_alone(&po_platform, &po_batch, &po_config, &po_alone).unwrap()
     });
 
+    let (fa_platform, fa_batch, fa_config, _fa_alone) = policy_instance(8, 768, 2);
+    let fa_trace = failure_instance(8, 12);
+    let fa_base = time_min_ns(reps(10), || {
+        online_schedule_with_failures_reference(&fa_platform, &fa_batch, &fa_config, &fa_trace)
+            .unwrap()
+    });
+    let fa_opt = time_min_ns(reps(50), || {
+        online_schedule_with_failures(&fa_platform, &fa_batch, &fa_config, &fa_trace).unwrap()
+    });
+
     let (se_platform, se_batch, se_config, se_alone) = service_instance(8, 4_096);
     let se_policy_cfg = PolicyConfig {
         order: se_config.order,
@@ -480,7 +554,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -512,6 +586,14 @@ fn emit_json(c: &mut Criterion) {
             "cached-key incremental pending set (online_schedule)",
             po_base,
             po_opt,
+        ),
+        record(
+            "multiload_failure",
+            "p=8, loads=768, installments=2, SRPT online, 12 failure waves, uniform profile",
+            "linear rescan under failures (online_schedule_with_failures_reference)",
+            "cached-key failure engine (online_schedule_with_failures)",
+            fa_base,
+            fa_opt,
         ),
         record(
             "multiload_service",
@@ -547,12 +629,13 @@ fn emit_json(c: &mut Criterion) {
     }
     eprintln!(
         "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x, \
-         multiload_policy {:.1}x, multiload_service {:.1}x ({:.0} decisions/sec), \
-         solver_equal_finish {:.1}x",
+         multiload_policy {:.1}x, multiload_failure {:.1}x, multiload_service {:.1}x \
+         ({:.0} decisions/sec), solver_equal_finish {:.1}x",
         sim_base / sim_opt,
         dp_base / dp_opt,
         ml_base / ml_opt,
         po_base / po_opt,
+        fa_base / fa_opt,
         se_base / se_opt,
         se_decisions_per_sec,
         sv_base / sv_opt
@@ -565,6 +648,7 @@ criterion_group!(
     bench_peri_sum,
     bench_multiload,
     bench_policy,
+    bench_failure,
     bench_service,
     bench_solver,
     emit_json

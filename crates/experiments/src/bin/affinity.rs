@@ -5,11 +5,11 @@
 //! [--n N] [--trials T] [--seed S]`
 
 use dlt_experiments::affinity::run_affinity;
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 use dlt_platform::SpeedDistribution;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::AFFINITY);
     let p: usize = flag_or(&flags, "p", 32);
     let n: usize = flag_or(&flags, "n", 2048);
     let trials: usize = flag_or(&flags, "trials", 20);

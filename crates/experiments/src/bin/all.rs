@@ -13,6 +13,10 @@
 //! is byte-identical regardless of the thread count.
 
 use dlt_experiments::affinity::run_affinity;
+use dlt_experiments::competitive::{
+    competitive_table, run_competitive, DEFAULT_COMPETITIVE_LOADS, DEFAULT_COMPETITIVE_P,
+    DEFAULT_COMPETITIVE_TRIALS,
+};
 use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
 use dlt_experiments::footprint::run_fig2;
 use dlt_experiments::multiload::{
@@ -21,7 +25,7 @@ use dlt_experiments::multiload::{
 };
 use dlt_experiments::partition_quality::run_partition_quality;
 use dlt_experiments::rho::run_rho_table;
-use dlt_experiments::runner::{parse_flags, thread_count, write_and_print};
+use dlt_experiments::runner::{flags, parse_flags, thread_count, write_and_print};
 use dlt_experiments::sec2::{run_sec2, PAPER_ALPHAS};
 use dlt_experiments::sec3::{run_hetero_sort, run_sample_sort};
 use dlt_experiments::service::{
@@ -32,7 +36,7 @@ use dlt_experiments::traces::{fig1_sample_sort_trace, fig3_matmul_trace};
 use dlt_platform::SpeedDistribution;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::ALL);
     let smoke = flags.contains_key("smoke");
     let quick = smoke || flags.contains_key("quick");
     let threads = thread_count(&flags);
@@ -195,6 +199,36 @@ fn main() {
             );
             let t = service_table(profile.name(), svc_p, svc_loads, DEFAULT_UTILIZATION, &pts);
             write_and_print(&t, &format!("multiload_service_{}", profile.name()));
+        }
+    }
+
+    println!("== Extension: competitive ratios under adversarial arrivals and failures ==");
+    {
+        // Mirrors the `multiload-competitive` binary defaults, so the
+        // committed full-scale CSVs stay regenerable from either entry
+        // point; smoke shrinks to the binary's `--smoke` shape.
+        let (cr_p, cr_loads, cr_trials) = if smoke {
+            (4, 8, 2)
+        } else if quick {
+            (DEFAULT_COMPETITIVE_P, 24, 10)
+        } else {
+            (
+                DEFAULT_COMPETITIVE_P,
+                DEFAULT_COMPETITIVE_LOADS,
+                DEFAULT_COMPETITIVE_TRIALS,
+            )
+        };
+        let cr_cells = if smoke {
+            dlt_experiments::competitive::smoke_cells()
+        } else {
+            dlt_experiments::competitive::default_cells()
+        };
+        for profile in SpeedDistribution::paper_profiles() {
+            let pts = run_competitive(
+                &profile, cr_p, cr_loads, &cr_cells, cr_trials, seed, threads,
+            );
+            let t = competitive_table(profile.name(), cr_p, cr_loads, cr_trials, &pts);
+            write_and_print(&t, &format!("multiload_competitive_{}", profile.name()));
         }
     }
 

@@ -4,11 +4,11 @@
 //! `cargo run --release -p dlt-experiments --bin fig1-trace -- [--n N]
 //! [--seed S]`
 
-use dlt_experiments::runner::{flag_or, parse_flags};
+use dlt_experiments::runner::{flag_or, flags, parse_flags};
 use dlt_experiments::traces::fig1_sample_sort_trace;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::FIG1_TRACE);
     let n: usize = flag_or(&flags, "n", 4096);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let (events, chart) = fig1_sample_sort_trace(n, seed);

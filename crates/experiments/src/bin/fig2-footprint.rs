@@ -5,10 +5,10 @@
 //! [--p P] [--k K] [--n N]`
 
 use dlt_experiments::footprint::run_fig2;
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::FIG2_FOOTPRINT);
     let p: usize = flag_or(&flags, "p", 4);
     let k: f64 = flag_or(&flags, "k", 12.0);
     let n: usize = flag_or(&flags, "n", 240);

@@ -4,11 +4,11 @@
 //! `cargo run --release -p dlt-experiments --bin fig3-matmul-trace --
 //! [--n N] [--q Q] [--steps S]`
 
-use dlt_experiments::runner::{flag_or, parse_flags};
+use dlt_experiments::runner::{flag_or, flags, parse_flags};
 use dlt_experiments::traces::fig3_matmul_trace;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::FIG3_MATMUL_TRACE);
     let n: usize = flag_or(&flags, "n", 16);
     let q: usize = flag_or(&flags, "q", 2);
     let steps: usize = flag_or(&flags, "steps", 4);

@@ -8,13 +8,13 @@
 //! figure, and writes `results/fig4_<profile>.csv`.
 
 use dlt_experiments::fig4::{fig4_table, run_fig4, series_for, PAPER_P_VALUES, PAPER_TRIALS};
-use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, thread_count, write_and_print};
 use dlt_outer::Strategy;
 use dlt_platform::SpeedDistribution;
 use dlt_stats::AsciiPlot;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::FIG4);
     let profile_arg = flags
         .get("")
         .and_then(|v| v.first())

@@ -16,7 +16,7 @@
 //! pending-set high-water mark exceeds `N` (the steady-memory gate).
 
 use dlt_experiments::multiload::{DEFAULT_ALPHAS, DEFAULT_BASE_SIZE};
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 use dlt_experiments::service::{
     default_cells, file_trace, run_service, run_service_cell, service_table, smoke_cells,
     ServicePoint, DEFAULT_SERVICE_LOADS, DEFAULT_SERVICE_P, DEFAULT_UTILIZATION,
@@ -24,7 +24,7 @@ use dlt_experiments::service::{
 use dlt_platform::{PlatformSpec, SpeedDistribution};
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::MULTILOAD_SERVICE);
     let smoke = flags.contains_key("smoke");
     let profile_arg = flags
         .get("")

@@ -12,11 +12,11 @@ use dlt_experiments::multiload::{
     multiload_table, run_multiload, DEFAULT_ALPHAS, DEFAULT_BASE_SIZE, DEFAULT_CHUNKS,
     DEFAULT_LOAD_COUNTS, DEFAULT_P,
 };
-use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, thread_count, write_and_print};
 use dlt_platform::SpeedDistribution;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::MULTILOAD);
     let profile_arg = flags
         .get("")
         .and_then(|v| v.first())

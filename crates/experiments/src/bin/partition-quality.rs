@@ -6,11 +6,11 @@
 //! [--trials T] [--seed S] [--threads W]`
 
 use dlt_experiments::partition_quality::run_partition_quality;
-use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, thread_count, write_and_print};
 use dlt_platform::SpeedDistribution;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::PARTITION_QUALITY);
     let trials: usize = flag_or(&flags, "trials", 50);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let threads = thread_count(&flags);

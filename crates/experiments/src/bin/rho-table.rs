@@ -5,10 +5,10 @@
 //! [--n N] [--threads W]`
 
 use dlt_experiments::rho::run_rho_table;
-use dlt_experiments::runner::{flag_or, parse_flags, thread_count, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, thread_count, write_and_print};
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::RHO_TABLE);
     let p: usize = flag_or(&flags, "p", 32);
     let n: usize = flag_or(&flags, "n", 4096);
     let threads = thread_count(&flags);

@@ -4,11 +4,11 @@
 //! `cargo run --release -p dlt-experiments --bin sec2-no-free-lunch --
 //! [--n N] [--seed S]`
 
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 use dlt_experiments::sec2::{run_sec2, PAPER_ALPHAS};
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::SEC2);
     let n: f64 = flag_or(&flags, "n", 4096.0);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let ps = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];

@@ -4,12 +4,12 @@
 //! `cargo run --release -p dlt-experiments --bin sec3-hetero-sort --
 //! [--trials T] [--n N] [--seed S]`
 
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 use dlt_experiments::sec3::run_hetero_sort;
 use dlt_platform::SpeedDistribution;
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::SEC3_HETERO_SORT);
     let trials: usize = flag_or(&flags, "trials", 5);
     let n: usize = flag_or(&flags, "n", 1 << 18);
     let seed: u64 = flag_or(&flags, "seed", 42);

@@ -4,11 +4,11 @@
 //! `cargo run --release -p dlt-experiments --bin sec3-sample-sort --
 //! [--trials T] [--seed S]`
 
-use dlt_experiments::runner::{flag_or, parse_flags, write_and_print};
+use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 use dlt_experiments::sec3::{run_distribution_robustness, run_sample_sort};
 
 fn main() {
-    let flags = parse_flags(std::env::args().skip(1));
+    let flags = parse_flags(std::env::args().skip(1), flags::SEC3_SAMPLE_SORT);
     let trials: usize = flag_or(&flags, "trials", 5);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let ns = [1usize << 14, 1 << 16, 1 << 18, 1 << 20];

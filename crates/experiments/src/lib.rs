@@ -20,13 +20,16 @@
 //! | Conclusion: affinity dispatch (extension) | [`affinity::run_affinity`] | `affinity` |
 //! | Multi-load scheduling (extension, Gallet–Robert–Vivien) | [`multiload::run_multiload`] | `multiload` |
 //! | Service-engine throughput (extension, streamed arrivals) | [`service::run_service`] | `multiload-service` |
+//! | Competitive ratios under failures (extension, adversarial) | [`competitive::run_competitive`] | `multiload-competitive` |
 //!
 //! Every runner takes explicit seeds; the binaries default to the seeds
 //! used to produce the numbers quoted in `EXPERIMENTS.md`.
 
 pub mod affinity;
+pub mod competitive;
 pub mod fig4;
 pub mod footprint;
+pub mod generators;
 pub mod multiload;
 pub mod partition_quality;
 pub mod rho;

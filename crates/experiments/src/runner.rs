@@ -25,28 +25,112 @@ pub fn write_and_print(table: &Table, name: &str) -> PathBuf {
     path
 }
 
-/// Minimal `--key value` / `--flag` parser for the experiment binaries
-/// (keeps the dependency list to the approved crates). Positional
-/// arguments are returned under the key `""` in order.
-pub fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, Vec<String>> {
+/// The allowed flag set of every experiment binary, shared between the
+/// binaries themselves and the flag-parsing unit tests. `""` in a set
+/// means the binary accepts positional arguments (the profile name).
+/// Anything not in the set is rejected by [`parse_flags`] — a typo'd
+/// `--trails` or `--assert-peak-pendig` is an error, never a silently
+/// ignored knob.
+pub mod flags {
+    /// `affinity`
+    pub const AFFINITY: &[&str] = &["p", "n", "trials", "seed"];
+    /// `all`
+    pub const ALL: &[&str] = &["smoke", "quick", "threads"];
+    /// `fig1-trace`
+    pub const FIG1_TRACE: &[&str] = &["n", "seed"];
+    /// `fig2-footprint`
+    pub const FIG2_FOOTPRINT: &[&str] = &["p", "k", "n"];
+    /// `fig3-matmul-trace`
+    pub const FIG3_MATMUL_TRACE: &[&str] = &["n", "q", "steps"];
+    /// `fig4`
+    pub const FIG4: &[&str] = &["", "trials", "n", "seed", "threads"];
+    /// `multiload`
+    pub const MULTILOAD: &[&str] = &["", "p", "trials", "n", "chunks", "seed", "threads"];
+    /// `multiload-competitive`
+    pub const MULTILOAD_COMPETITIVE: &[&str] =
+        &["", "smoke", "p", "trials", "n", "seed", "threads", "soak"];
+    /// `multiload-policy`
+    pub const MULTILOAD_POLICY: &[&str] =
+        &["", "p", "trials", "n", "installments", "seed", "threads"];
+    /// `multiload-service`
+    pub const MULTILOAD_SERVICE: &[&str] = &[
+        "",
+        "smoke",
+        "loads",
+        "p",
+        "n",
+        "utilization",
+        "seed",
+        "trace",
+        "assert-peak-pending",
+    ];
+    /// `partition-quality`
+    pub const PARTITION_QUALITY: &[&str] = &["trials", "seed", "threads"];
+    /// `rho-table`
+    pub const RHO_TABLE: &[&str] = &["p", "n", "threads"];
+    /// `sec2-no-free-lunch`
+    pub const SEC2: &[&str] = &["n", "seed"];
+    /// `sec3-hetero-sort`
+    pub const SEC3_HETERO_SORT: &[&str] = &["trials", "n", "seed"];
+    /// `sec3-sample-sort`
+    pub const SEC3_SAMPLE_SORT: &[&str] = &["trials", "seed"];
+}
+
+/// Fallible core of [`parse_flags`]: `--key value` / `--flag` parsing
+/// with a closed flag vocabulary. Positional arguments land under the key
+/// `""` in order, and only when `allowed` contains `""`; an unknown flag
+/// name is an error instead of a silently accepted no-op.
+pub fn try_parse_flags(
+    args: impl Iterator<Item = String>,
+    allowed: &[&str],
+) -> Result<HashMap<String, Vec<String>>, String> {
     let mut out: HashMap<String, Vec<String>> = HashMap::new();
     let mut key: Option<String> = None;
     for arg in args {
         if let Some(stripped) = arg.strip_prefix("--") {
+            if !allowed.contains(&stripped) {
+                return Err(format!(
+                    "unknown flag --{stripped} (allowed: {})",
+                    allowed
+                        .iter()
+                        .filter(|a| !a.is_empty())
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
             if let Some(prev) = key.take() {
                 out.entry(prev).or_default().push("true".to_string());
             }
             key = Some(stripped.to_string());
         } else if let Some(k) = key.take() {
             out.entry(k).or_default().push(arg);
-        } else {
+        } else if allowed.contains(&"") {
             out.entry(String::new()).or_default().push(arg);
+        } else {
+            return Err(format!("unexpected positional argument {arg:?}"));
         }
     }
     if let Some(prev) = key {
         out.entry(prev).or_default().push("true".to_string());
     }
-    out
+    Ok(out)
+}
+
+/// Minimal `--key value` / `--flag` parser for the experiment binaries
+/// (keeps the dependency list to the approved crates). `allowed` is the
+/// binary's flag vocabulary ([`flags`]); an unknown flag or a positional
+/// argument the binary does not take prints the error and exits with
+/// status 2 — see [`try_parse_flags`] for the fallible form the unit
+/// tests drive.
+pub fn parse_flags(
+    args: impl Iterator<Item = String>,
+    allowed: &[&str],
+) -> HashMap<String, Vec<String>> {
+    try_parse_flags(args, allowed).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Resolves a requested thread count: `0` means "all available cores"
@@ -130,44 +214,68 @@ where
         .collect()
 }
 
-/// Fetches a parsed flag as `T`, with a default.
+/// Fallible core of [`flag_or`]: the default only when the flag is
+/// **absent**; a present-but-unparseable value is an error. Silent
+/// fallback here once let `--assert-peak-pending 4O96` (a typo'd `4096`)
+/// parse as "no cap" and quietly disable the CI soak gate.
+pub fn try_flag_or<T: std::str::FromStr>(
+    flags: &HashMap<String, Vec<String>>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key).and_then(|v| v.last()) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {s:?}")),
+    }
+}
+
+/// Fetches a parsed flag as `T`, defaulting only when the flag is absent.
+/// An unparseable value prints the error and exits with status 2.
 pub fn flag_or<T: std::str::FromStr>(
     flags: &HashMap<String, Vec<String>>,
     key: &str,
     default: T,
 ) -> T {
-    flags
-        .get(key)
-        .and_then(|v| v.last())
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    try_flag_or(flags, key, default).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> HashMap<String, Vec<String>> {
-        parse_flags(words.iter().map(|s| s.to_string()))
+    fn parse(words: &[&str], allowed: &[&str]) -> HashMap<String, Vec<String>> {
+        try_parse_flags(words.iter().map(|s| s.to_string()), allowed).unwrap()
+    }
+
+    fn parse_err(words: &[&str], allowed: &[&str]) -> String {
+        try_parse_flags(words.iter().map(|s| s.to_string()), allowed).unwrap_err()
     }
 
     #[test]
     fn positional_and_flags() {
-        let f = parse(&["uniform", "--trials", "50", "--fast"]);
+        let f = parse(
+            &["uniform", "--trials", "50", "--smoke"],
+            &["", "trials", "smoke"],
+        );
         assert_eq!(f[""], vec!["uniform"]);
         assert_eq!(f["trials"], vec!["50"]);
-        assert_eq!(f["fast"], vec!["true"]);
+        assert_eq!(f["smoke"], vec!["true"]);
     }
 
     #[test]
     fn repeated_flags_accumulate() {
-        let f = parse(&["--p", "10", "--p", "20"]);
+        let f = parse(&["--p", "10", "--p", "20"], &["p"]);
         assert_eq!(f["p"], vec!["10", "20"]);
     }
 
     #[test]
     fn flag_or_parses_with_default() {
-        let f = parse(&["--trials", "7"]);
+        let f = parse(&["--trials", "7"], &["trials"]);
         assert_eq!(flag_or(&f, "trials", 100usize), 7);
         assert_eq!(flag_or(&f, "n", 123usize), 123);
         assert_eq!(flag_or(&f, "trials", 0.0f64), 7.0);
@@ -175,8 +283,102 @@ mod tests {
 
     #[test]
     fn trailing_flag_without_value_is_true() {
-        let f = parse(&["--verbose"]);
+        let f = parse(&["--verbose"], &["verbose"]);
         assert_eq!(f["verbose"], vec!["true"]);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_not_a_noop() {
+        let e = parse_err(&["--trails", "50"], flags::FIG4);
+        assert!(e.contains("unknown flag --trails"), "{e}");
+        assert!(e.contains("--trials"), "error lists the vocabulary: {e}");
+    }
+
+    #[test]
+    fn positional_rejected_where_none_is_taken() {
+        let e = parse_err(&["uniform"], flags::ALL);
+        assert!(e.contains("unexpected positional"), "{e}");
+    }
+
+    #[test]
+    fn unparseable_value_is_an_error_not_the_default() {
+        // The CI soak-gate regression: `4O96` (letter O) must not parse
+        // as "no cap".
+        let f = parse(&["--assert-peak-pending", "4O96"], flags::MULTILOAD_SERVICE);
+        let r = try_flag_or(&f, "assert-peak-pending", usize::MAX);
+        assert!(r.is_err(), "typo'd numeric value must not default");
+        assert!(r.unwrap_err().contains("4O96"));
+    }
+
+    /// One nominal invocation and one typo'd flag per binary vocabulary.
+    #[test]
+    fn every_binary_flag_set_accepts_nominal_and_rejects_typos() {
+        let cases: &[(&[&str], &[&str])] = &[
+            (
+                flags::AFFINITY,
+                &["--p", "8", "--n", "64", "--trials", "2", "--seed", "1"],
+            ),
+            (flags::ALL, &["--smoke", "--threads", "2"]),
+            (flags::FIG1_TRACE, &["--n", "128", "--seed", "3"]),
+            (
+                flags::FIG2_FOOTPRINT,
+                &["--p", "4", "--k", "12.0", "--n", "240"],
+            ),
+            (
+                flags::FIG3_MATMUL_TRACE,
+                &["--n", "16", "--q", "2", "--steps", "4"],
+            ),
+            (
+                flags::FIG4,
+                &[
+                    "uniform",
+                    "--trials",
+                    "2",
+                    "--n",
+                    "100",
+                    "--seed",
+                    "1",
+                    "--threads",
+                    "1",
+                ],
+            ),
+            (flags::MULTILOAD, &["uniform", "--p", "4", "--chunks", "8"]),
+            (
+                flags::MULTILOAD_COMPETITIVE,
+                &[
+                    "uniform", "--smoke", "--p", "4", "--trials", "2", "--soak", "100",
+                ],
+            ),
+            (
+                flags::MULTILOAD_POLICY,
+                &["uniform", "--installments", "1", "--installments", "4"],
+            ),
+            (
+                flags::MULTILOAD_SERVICE,
+                &[
+                    "uniform",
+                    "--smoke",
+                    "--loads",
+                    "100",
+                    "--assert-peak-pending",
+                    "4096",
+                ],
+            ),
+            (
+                flags::PARTITION_QUALITY,
+                &["--trials", "2", "--seed", "1", "--threads", "1"],
+            ),
+            (flags::RHO_TABLE, &["--p", "8", "--n", "64"]),
+            (flags::SEC2, &["--n", "64.0", "--seed", "1"]),
+            (flags::SEC3_HETERO_SORT, &["--trials", "1", "--n", "1024"]),
+            (flags::SEC3_SAMPLE_SORT, &["--trials", "1", "--seed", "1"]),
+        ];
+        for (allowed, nominal) in cases {
+            let parsed = try_parse_flags(nominal.iter().map(|s| s.to_string()), allowed);
+            assert!(parsed.is_ok(), "{allowed:?} rejected {nominal:?}");
+            let e = parse_err(&["--no-such-flag"], allowed);
+            assert!(e.contains("unknown flag"), "{allowed:?}: {e}");
+        }
     }
 
     #[test]
@@ -213,9 +415,9 @@ mod tests {
 
     #[test]
     fn thread_count_parses_and_defaults() {
-        assert_eq!(thread_count(&parse(&["--threads", "3"])), 3);
-        assert!(thread_count(&parse(&[])) >= 1);
-        assert!(thread_count(&parse(&["--threads", "0"])) >= 1);
+        assert_eq!(thread_count(&parse(&["--threads", "3"], &["threads"])), 3);
+        assert!(thread_count(&parse(&[], &["threads"])) >= 1);
+        assert!(thread_count(&parse(&["--threads", "0"], &["threads"])) >= 1);
         assert_eq!(resolve_threads(5), 5);
     }
 

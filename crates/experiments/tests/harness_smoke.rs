@@ -393,6 +393,83 @@ fn bin_multiload_service_smoke() {
 }
 
 #[test]
+fn bin_multiload_competitive_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_multiload-competitive"),
+        "mlcompetitive",
+        &["uniform", "--smoke", "--seed", "1", "--threads", "2"],
+        true,
+    );
+    assert!(out.contains("competitive_ratio_mean"));
+    assert!(out.contains("poisson") && out.contains("mmpp_burst"));
+    assert!(out.contains("fifo") && out.contains("srpt") && out.contains("weighted_stretch"));
+}
+
+#[test]
+fn bin_multiload_competitive_soak_smoke() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_multiload-competitive"),
+        "mlsoak",
+        &["--soak", "300", "--p", "4", "--seed", "7"],
+        false,
+    );
+    assert!(out.contains("soak ok"), "soak must report success: {out}");
+}
+
+/// Runs a binary expecting the strict flag parser to reject the
+/// invocation: exit code 2 and a diagnostic naming the offender.
+fn run_bin_expect_flag_error(exe: &str, args: &[&str], needle: &str) {
+    let out = std::process::Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{exe} {args:?} must exit 2 on a bad flag, got {}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{exe} {args:?} stderr must mention {needle:?}:\n{stderr}"
+    );
+}
+
+#[test]
+fn bins_reject_unknown_flags_instead_of_ignoring_them() {
+    // A typo'd flag must be a hard error on every binary, not a silently
+    // ignored word — `--trails` once cost a full sweep re-run.
+    run_bin_expect_flag_error(env!("CARGO_BIN_EXE_fig4"), &["--trails", "5"], "--trails");
+    run_bin_expect_flag_error(
+        env!("CARGO_BIN_EXE_multiload-competitive"),
+        &["--fail-rate", "2"],
+        "--fail-rate",
+    );
+    run_bin_expect_flag_error(
+        env!("CARGO_BIN_EXE_multiload-service"),
+        &["--asert-peak-pending", "4096"],
+        "--asert-peak-pending",
+    );
+}
+
+#[test]
+fn bins_reject_unparseable_flag_values_instead_of_defaulting() {
+    // The original bug: `--assert-peak-pending 4O96` (letter O) parsed as
+    // "no cap" and silently disabled the CI soak gate.
+    run_bin_expect_flag_error(
+        env!("CARGO_BIN_EXE_multiload-service"),
+        &["--smoke", "--assert-peak-pending", "4O96"],
+        "4O96",
+    );
+    run_bin_expect_flag_error(
+        env!("CARGO_BIN_EXE_multiload-competitive"),
+        &["--trials", "ten"],
+        "ten",
+    );
+}
+
+#[test]
 fn bin_partition_quality_smoke() {
     let out = run_bin(
         env!("CARGO_BIN_EXE_partition-quality"),

@@ -49,6 +49,21 @@ pub enum MultiLoadError {
         /// Zero-based position of the first out-of-order arrival.
         index: u64,
     },
+    /// A failure trace was malformed (unsorted, non-finite time, factor
+    /// below 1, worker index out of range, or compounded slow-downs that
+    /// degrade a worker out of the representable speed range).
+    InvalidFailureTrace {
+        /// Zero-based position of the offending event.
+        index: u64,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// Every worker dropped out while data was still unserved — the
+    /// degraded platform is empty and the schedule cannot complete.
+    AllWorkersFailed {
+        /// Instant the engine needed a worker and found none.
+        at: f64,
+    },
     /// The underlying single-load solver failed.
     Solver(DltError),
 }
@@ -80,6 +95,12 @@ impl std::fmt::Display for MultiLoadError {
                 f,
                 "arrival trace must be sorted by release time: arrival {index} is out of order"
             ),
+            Self::InvalidFailureTrace { index, reason } => {
+                write!(f, "invalid failure trace: event {index}: {reason}")
+            }
+            Self::AllWorkersFailed { at } => {
+                write!(f, "all workers failed by t = {at} with data still unserved")
+            }
             Self::Solver(e) => write!(f, "single-load solver failed: {e}"),
         }
     }

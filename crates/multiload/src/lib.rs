@@ -46,12 +46,22 @@
 //! [`policy::online_schedule`] bit for bit; its own linear-rescan twin
 //! ([`service::serve_trace_reference`]) gates the batched/adaptive modes.
 //!
+//! The **fault-injection layer** ([`failure`]) threads a [`FailureTrace`]
+//! of worker drop-outs and slow-downs through the policy and service
+//! engines ([`online_schedule_with_failures`],
+//! [`service::serve_trace_with_failures`]): an installment in flight at a
+//! failure event is cut — the served prefix retained, the remainder
+//! re-queued — and every later solve runs on the degraded platform, with
+//! bitwise-replayable conservation ([`failure::replay_ledger`]) and the
+//! same fast/reference lockstep as everywhere else.
+//!
 //! Per-load metrics (start, finish, flow time, stretch) and aggregates
 //! (makespan, mean flow, mean/max stretch, total data) live in
-//! [`metrics`]; the `multiload`, `multiload-policy` and
-//! `multiload-service` binaries of `dlt-experiments` sweep them over load
-//! count, platform heterogeneity, nonlinearity, admission policy and
-//! arrival-stream pressure.
+//! [`metrics`]; the `multiload`, `multiload-policy`,
+//! `multiload-service` and `multiload-competitive` binaries of
+//! `dlt-experiments` sweep them over load count, platform heterogeneity,
+//! nonlinearity, admission policy, arrival-stream pressure and failure
+//! rate.
 //!
 //! ```
 //! use dlt_multiload::{fifo_schedule, round_robin_schedule, LoadSpec, MultiLoadConfig};
@@ -70,6 +80,7 @@
 
 pub mod error;
 pub mod event_queue;
+pub mod failure;
 pub mod fifo;
 pub mod load;
 pub mod metrics;
@@ -79,6 +90,12 @@ pub mod service;
 
 pub use error::MultiLoadError;
 pub use event_queue::{PendingEntry, PendingSet};
+pub use failure::{
+    online_schedule_with_failures, online_schedule_with_failures_reference,
+    policy_schedule_with_failures, policy_schedule_with_failures_reference,
+    realized_alone_makespans, replay_ledger, replay_policy_ledger, FailureEvent, FailureKind,
+    FailureOutcome, FailureTrace, ServedPiece,
+};
 pub use fifo::{fifo_schedule, FifoOutcome};
 pub use load::{release_order, LoadSpec};
 pub use metrics::{AggregateMetrics, LoadMetrics, MultiLoadReport, SchedulerKind};
@@ -94,6 +111,7 @@ pub use round_robin::{
     MultiLoadConfig, RoundRobinOutcome,
 };
 pub use service::{
-    serve_trace, serve_trace_reference, CompletedLoad, CompletionSink, DiscardCompletions,
+    serve_trace, serve_trace_reference, serve_trace_with_failures,
+    serve_trace_with_failures_reference, CompletedLoad, CompletionSink, DiscardCompletions,
     InstallmentPolicy, ServiceConfig, ServiceReport,
 };

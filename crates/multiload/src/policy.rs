@@ -60,6 +60,7 @@
 //! ≥ 1.
 
 use crate::error::MultiLoadError;
+use crate::failure::{FailureTrace, PlatformState};
 use crate::load::{validate_batch, LoadSpec};
 use crate::metrics::{LoadMetrics, MultiLoadReport, SchedulerKind};
 use dlt_core::nonlinear;
@@ -163,8 +164,13 @@ pub struct InstallmentExec {
     /// Instant the installment's equal-finish round starts (≥ the load's
     /// release).
     pub start: f64,
-    /// Instant every participating worker finishes the installment.
+    /// Instant every participating worker finishes the installment — for
+    /// an interrupted installment, the failure-event time it was cut at.
     pub finish: f64,
+    /// Whether a failure event cut the installment short: `data` is then
+    /// the retained prefix and the remainder was re-queued (always
+    /// `false` without a failure trace).
+    pub interrupted: bool,
 }
 
 /// Result of the policy scheduler.
@@ -181,6 +187,12 @@ pub struct PolicyOutcome {
     /// Number of installment boundaries at which a started-but-unfinished
     /// load was set aside for a different load.
     pub preemptions: usize,
+    /// Number of installments cut short by a failure event (zero without
+    /// a failure trace).
+    pub interruptions: usize,
+    /// Total data units re-queued by failure cuts (zero without a failure
+    /// trace).
+    pub requeued_data: f64,
 }
 
 /// Size of the next installment: equal `remaining / left` cuts, except the
@@ -243,6 +255,8 @@ struct Recorder {
     log: Vec<InstallmentExec>,
     last_served: Option<usize>,
     preemptions: usize,
+    interruptions: usize,
+    requeued_data: f64,
 }
 
 impl Recorder {
@@ -255,12 +269,15 @@ impl Recorder {
             log: Vec::with_capacity(n_loads * installments),
             last_served: None,
             preemptions: 0,
+            interruptions: 0,
+            requeued_data: 0.0,
         }
     }
 
     /// Records one served installment; `prev_unfinished` is whether the
     /// previously served load still has remaining data (i.e. this service
     /// decision preempted it).
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         j: usize,
@@ -269,6 +286,7 @@ impl Recorder {
         finish: f64,
         x: &[f64],
         prev_unfinished: bool,
+        interrupted: bool,
     ) {
         if let Some(prev) = self.last_served {
             if prev != j && prev_unfinished {
@@ -289,6 +307,7 @@ impl Recorder {
             data,
             start,
             finish,
+            interrupted,
         });
     }
 
@@ -319,6 +338,8 @@ impl Recorder {
             installment_log: self.log,
             shares: self.shares,
             preemptions: self.preemptions,
+            interruptions: self.interruptions,
+            requeued_data: self.requeued_data,
         }
     }
 }
@@ -413,7 +434,7 @@ pub fn policy_schedule_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_fast(platform, loads, config, alone, false)
+    engine_fast(platform, loads, config, alone, false, &FailureTrace::none())
 }
 
 /// Executable specification of [`policy_schedule`]: rescans every load
@@ -442,7 +463,7 @@ pub fn policy_schedule_reference_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_reference(platform, loads, config, alone, false)
+    engine_reference(platform, loads, config, alone, false, &FailureTrace::none())
 }
 
 /// Online policy scheduler: load specs are **revealed at their release
@@ -491,7 +512,7 @@ pub fn online_schedule_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_fast(platform, loads, config, alone, true)
+    engine_fast(platform, loads, config, alone, true, &FailureTrace::none())
 }
 
 /// Executable specification of [`online_schedule`]: the linear rescan.
@@ -518,30 +539,44 @@ pub fn online_schedule_reference_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_reference(platform, loads, config, alone, true)
+    engine_reference(platform, loads, config, alone, true, &FailureTrace::none())
 }
 
 /// The linear-scan reference engine: every decision rescans all loads,
 /// filters candidates (release ≤ now when `online`), and recomputes every
 /// candidate's remaining-work estimate — one `powf` each — from scratch.
 /// `O(n)` transcendentals per decision, `O(n²·k)` over a schedule.
-fn engine_reference(
+///
+/// Failure handling (identical in [`engine_fast`], by construction):
+/// events at or before `now` are applied before every decision; a solve
+/// never spans a pending event — an event inside an offline waiting gap
+/// re-ranks first, an event strictly inside an installment **cuts** it
+/// (retained prefix `data · φ` logged, `remaining − data · φ` re-queued,
+/// installment budget untouched). Priority keys keep the
+/// pristine-platform speed normalization throughout — failures degrade
+/// the solves, not the ranking algebra — which is what keeps zero-failure
+/// runs (and the fast/reference lockstep) structurally bit-identical.
+pub(crate) fn engine_reference(
     platform: &Platform,
     loads: &[LoadSpec],
     config: &PolicyConfig,
     alone: &[f64],
     online: bool,
+    failures: &FailureTrace,
 ) -> Result<PolicyOutcome, MultiLoadError> {
     let n = loads.len();
     let speed_sum: f64 = platform.speeds().iter().sum();
     let solver = nonlinear::SolverConfig::default();
     let mut warm = nonlinear::WarmStart::new();
+    let mut fstate = PlatformState::new(platform, failures);
+    let mut scratch: Vec<f64> = Vec::new();
     let mut remaining: Vec<f64> = loads.iter().map(|l| l.size).collect();
     let mut inst_left = vec![config.installments; n];
     let mut rec = Recorder::new(n, platform.len(), config.installments);
     let mut unfinished = n;
     let mut now = 0.0f64;
     while unfinished > 0 {
+        fstate.advance_to(now)?;
         // Linear candidate scan: smallest (key, index) wins.
         let mut best: Option<(f64, usize)> = None;
         for (j, load) in loads.iter().enumerate() {
@@ -565,18 +600,45 @@ fn engine_reference(
                 .fold(f64::INFINITY, f64::min);
             continue;
         };
+        let start = now.max(loads[j].release);
+        if let Some(t) = fstate.next_event_at().filter(|&t| t <= start) {
+            // A failure lands inside the (offline) waiting gap: apply it
+            // and re-rank before committing a solve.
+            now = t;
+            continue;
+        }
         let data = next_installment(remaining[j], inst_left[j]);
         let alloc = nonlinear::equal_finish_parallel_with(
-            platform,
+            fstate.current(start)?.0,
             data,
             loads[j].alpha,
             &solver,
             &mut warm,
         )?;
-        let start = now.max(loads[j].release);
         let finish = start + alloc.makespan;
         let prev_unfinished = rec.last_served.is_some_and(|prev| remaining[prev] > 0.0);
-        rec.record(j, data, start, finish, &alloc.x, prev_unfinished);
+        if let Some(t) = fstate.next_event_at().filter(|&t| t < finish) {
+            // Cut: retain the served prefix, re-queue the rest, re-solve
+            // on the degraded platform at the next decision.
+            let phi = (t - start) / (finish - start);
+            let retained = data * phi;
+            let requeued = remaining[j] - retained;
+            let x = fstate.scatter(&alloc.x, Some(phi), &mut scratch);
+            rec.record(j, retained, start, t, x, prev_unfinished, true);
+            rec.interruptions += 1;
+            rec.requeued_data += requeued.max(0.0);
+            if requeued <= 0.0 {
+                // Float edge: the prefix already covered everything.
+                remaining[j] = 0.0;
+                unfinished -= 1;
+            } else {
+                remaining[j] = requeued;
+            }
+            now = t;
+            continue;
+        }
+        let x = fstate.scatter(&alloc.x, None, &mut scratch);
+        rec.record(j, data, start, finish, x, prev_unfinished, false);
         remaining[j] = if inst_left[j] == 1 {
             0.0
         } else {
@@ -600,17 +662,25 @@ fn engine_reference(
 /// The cached estimate is the same expression evaluated on the same bits,
 /// so every key — and therefore every schedule — matches the reference
 /// exactly.
-fn engine_fast(
+///
+/// Failure handling mirrors [`engine_reference`] step for step; the only
+/// fast-engine addition is refreshing the served load's cached estimate
+/// after a cut (its remaining size changed without consuming an
+/// installment).
+pub(crate) fn engine_fast(
     platform: &Platform,
     loads: &[LoadSpec],
     config: &PolicyConfig,
     alone: &[f64],
     online: bool,
+    failures: &FailureTrace,
 ) -> Result<PolicyOutcome, MultiLoadError> {
     let n = loads.len();
     let speed_sum: f64 = platform.speeds().iter().sum();
     let solver = nonlinear::SolverConfig::default();
     let mut warm = nonlinear::WarmStart::new();
+    let mut fstate = PlatformState::new(platform, failures);
+    let mut scratch: Vec<f64> = Vec::new();
     let mut remaining: Vec<f64> = loads.iter().map(|l| l.size).collect();
     let mut inst_left = vec![config.installments; n];
     let mut est: Vec<f64> = loads
@@ -630,6 +700,7 @@ fn engine_fast(
     let mut unfinished = n;
     let mut now = 0.0f64;
     while unfinished > 0 {
+        fstate.advance_to(now)?;
         // Admit everything released by `now` (everything at all, offline).
         while next_arrival < arrivals.len() {
             let j = arrivals[next_arrival];
@@ -662,18 +733,49 @@ fn engine_fast(
             }
         }
         let (_, j, pos) = best.expect("active set is non-empty");
+        let start = now.max(loads[j].release);
+        if let Some(t) = fstate.next_event_at().filter(|&t| t <= start) {
+            // A failure lands inside the (offline) waiting gap: apply it
+            // and re-rank before committing a solve.
+            now = t;
+            continue;
+        }
         let data = next_installment(remaining[j], inst_left[j]);
         let alloc = nonlinear::equal_finish_parallel_with(
-            platform,
+            fstate.current(start)?.0,
             data,
             loads[j].alpha,
             &solver,
             &mut warm,
         )?;
-        let start = now.max(loads[j].release);
         let finish = start + alloc.makespan;
         let prev_unfinished = rec.last_served.is_some_and(|prev| remaining[prev] > 0.0);
-        rec.record(j, data, start, finish, &alloc.x, prev_unfinished);
+        if let Some(t) = fstate.next_event_at().filter(|&t| t < finish) {
+            // Cut: retain the served prefix, re-queue the rest (same
+            // arithmetic as the reference, bit for bit).
+            let phi = (t - start) / (finish - start);
+            let retained = data * phi;
+            let requeued = remaining[j] - retained;
+            let x = fstate.scatter(&alloc.x, Some(phi), &mut scratch);
+            rec.record(j, retained, start, t, x, prev_unfinished, true);
+            rec.interruptions += 1;
+            rec.requeued_data += requeued.max(0.0);
+            if requeued <= 0.0 {
+                remaining[j] = 0.0;
+                unfinished -= 1;
+                active.swap_remove(pos);
+            } else {
+                remaining[j] = requeued;
+                // The cut changed the remaining size without consuming an
+                // installment: refresh the cached estimate (still the
+                // healthy-platform normalization).
+                est[j] = work_estimate(remaining[j], loads[j].alpha, speed_sum);
+            }
+            now = t;
+            continue;
+        }
+        let x = fstate.scatter(&alloc.x, None, &mut scratch);
+        rec.record(j, data, start, finish, x, prev_unfinished, false);
         remaining[j] = if inst_left[j] == 1 {
             0.0
         } else {

@@ -48,6 +48,7 @@
 
 use crate::error::MultiLoadError;
 use crate::event_queue::{PendingEntry, PendingSet};
+use crate::failure::{FailureTrace, PlatformState, ServedPiece};
 use crate::load::LoadSpec;
 use crate::policy::{alone_installment_makespan, next_installment, work_estimate, AdmissionOrder};
 use dlt_core::nonlinear;
@@ -137,6 +138,11 @@ pub struct CompletedLoad {
     /// Data units each worker processed for this load, summed over its
     /// installments.
     pub shares: Vec<f64>,
+    /// The pieces the load was actually served in, in service order —
+    /// full installments plus retained prefixes of failure-cut ones.
+    /// Replayable bitwise against the engine's remaining-size update rule
+    /// by [`crate::failure::replay_ledger`].
+    pub pieces: Vec<ServedPiece>,
 }
 
 impl CompletedLoad {
@@ -193,6 +199,12 @@ pub struct ServiceReport {
     /// Installment boundaries at which a started-but-unfinished load was
     /// set aside for a different load.
     pub preemptions: u64,
+    /// Installments cut short by a failure event (zero without a failure
+    /// trace).
+    pub interruptions: u64,
+    /// Total data units re-queued by failure cuts (zero without a failure
+    /// trace).
+    pub requeued_data: f64,
     /// Finish time of the last installment (0 on an empty trace).
     pub makespan: f64,
     /// Total data units admitted and completed, `Σ N_j`.
@@ -219,6 +231,8 @@ impl ServiceReport {
             solves: 0,
             alone_solves: 0,
             preemptions: 0,
+            interruptions: 0,
+            requeued_data: 0.0,
             makespan: 0.0,
             total_data: 0.0,
             flow_sum: 0.0,
@@ -250,6 +264,7 @@ struct LoadState {
     alone: f64,
     started: f64,
     shares: Vec<f64>,
+    pieces: Vec<ServedPiece>,
 }
 
 /// Selection strategy: the one seam between the fast engine (indexed
@@ -395,7 +410,45 @@ where
 {
     validate_config(config)?;
     let selector = IndexedSelector(PendingSet::new(config.order));
-    engine(platform, trace.into_iter(), config, selector, sink)
+    engine(
+        platform,
+        trace.into_iter(),
+        config,
+        &FailureTrace::none(),
+        selector,
+        sink,
+    )
+}
+
+/// [`serve_trace`] under a failure trace: worker drop-outs and slow-downs
+/// strike the streamed engine mid-flight — an installment (or merged
+/// window group) in flight at an event is **cut**, the served prefix is
+/// retained pro rata, the remainder re-queued, and every later solve runs
+/// on the degraded platform. Priority keys keep the pristine-platform
+/// normalization (see [`crate::failure`]), so with an empty trace this is
+/// bit-identical to [`serve_trace`].
+pub fn serve_trace_with_failures<I, S>(
+    platform: &Platform,
+    trace: I,
+    config: &ServiceConfig,
+    failures: &FailureTrace,
+    sink: &mut S,
+) -> Result<ServiceReport, MultiLoadError>
+where
+    I: IntoIterator<Item = LoadSpec>,
+    S: CompletionSink,
+{
+    validate_config(config)?;
+    failures.validate_for(platform.len())?;
+    let selector = IndexedSelector(PendingSet::new(config.order));
+    engine(
+        platform,
+        trace.into_iter(),
+        config,
+        failures,
+        selector,
+        sink,
+    )
 }
 
 /// Executable specification of [`serve_trace`] for materialized traces:
@@ -421,15 +474,57 @@ where
         speed_sum: platform.speeds().iter().sum(),
         high_water: 0,
     };
-    engine(platform, loads.iter().copied(), config, selector, sink)
+    engine(
+        platform,
+        loads.iter().copied(),
+        config,
+        &FailureTrace::none(),
+        selector,
+        sink,
+    )
 }
 
-/// The shared engine: event loop over (arrival, window, completion)
-/// events. See the module docs for the event model.
+/// Linear-rescan reference twin of [`serve_trace_with_failures`] —
+/// bit-identical (property-tested), failures and all.
+pub fn serve_trace_with_failures_reference<S>(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    config: &ServiceConfig,
+    failures: &FailureTrace,
+    sink: &mut S,
+) -> Result<ServiceReport, MultiLoadError>
+where
+    S: CompletionSink,
+{
+    validate_config(config)?;
+    failures.validate_for(platform.len())?;
+    let selector = RescanSelector {
+        ids: Vec::new(),
+        order: config.order,
+        speed_sum: platform.speeds().iter().sum(),
+        high_water: 0,
+    };
+    engine(
+        platform,
+        loads.iter().copied(),
+        config,
+        failures,
+        selector,
+        sink,
+    )
+}
+
+/// The shared engine: event loop over (arrival, window, failure,
+/// completion) events. See the module docs for the event model; failure
+/// semantics follow [`crate::failure`] — events at or before `now` apply
+/// before every window, a window never spans a pending event (later
+/// groups are pushed back and re-ranked), and a group in flight at an
+/// event is cut pro rata.
 fn engine<I, Sel, S>(
     platform: &Platform,
     mut arrivals: I,
     config: &ServiceConfig,
+    failures: &FailureTrace,
     mut selector: Sel,
     sink: &mut S,
 ) -> Result<ServiceReport, MultiLoadError>
@@ -448,6 +543,8 @@ where
     // interleaving cannot perturb either sequence's brackets.
     let mut warm = nonlinear::WarmStart::new();
     let mut warm_alone = nonlinear::WarmStart::new();
+    let mut fstate = PlatformState::new(platform, failures);
+    let mut scratch: Vec<f64> = Vec::new();
     let mut states: HashMap<u64, LoadState> = HashMap::new();
     let mut report = ServiceReport::new(p);
     let mut lookahead: Option<(u64, LoadSpec)> = None;
@@ -457,6 +554,9 @@ where
     let mut now = 0.0f64;
     let mut window: Vec<u64> = Vec::with_capacity(config.batch);
     loop {
+        // Failure event: apply everything at or before `now` before any
+        // admission or ranking decision.
+        fstate.advance_to(now)?;
         // Admission event: pull every arrival released by `now`, in
         // stream order (= release order, ties by stream position).
         loop {
@@ -500,6 +600,7 @@ where
                     alone,
                     started: f64::INFINITY,
                     shares: vec![0.0; p],
+                    pieces: Vec::new(),
                 },
             );
             selector.push(
@@ -546,18 +647,51 @@ where
                 None => groups.push((st.spec.alpha, vec![(id, data)])),
             }
         }
-        for (alpha, members) in &groups {
+        for gi in 0..groups.len() {
+            // Failure event inside the window: once earlier groups have
+            // advanced the clock onto a pending event, the remaining
+            // winners go back to the pending set unserved and the next
+            // window re-ranks against the degraded platform.
+            if fstate.next_event_at().is_some_and(|t| t <= now) {
+                for (_, members) in &groups[gi..] {
+                    for &(id, _) in members {
+                        let st = &states[&id];
+                        let entry = PendingEntry {
+                            id,
+                            release: st.spec.release,
+                            est: st.est,
+                            alone: st.alone,
+                        };
+                        selector.push(entry, now);
+                    }
+                }
+                break;
+            }
+            let (alpha, members) = &groups[gi];
             let single = members.len() == 1;
             let total: f64 = if single {
                 members[0].1
             } else {
                 members.iter().map(|&(_, d)| d).sum()
             };
-            let alloc =
-                nonlinear::equal_finish_parallel_with(platform, total, *alpha, &solver, &mut warm)?;
+            let alloc = nonlinear::equal_finish_parallel_with(
+                fstate.current(now)?.0,
+                total,
+                *alpha,
+                &solver,
+                &mut warm,
+            )?;
             report.solves += 1;
             let start = now;
             let finish = start + alloc.makespan;
+            // A failure strictly inside the group's round cuts every
+            // member pro rata at the event time.
+            let cut = fstate.next_event_at().filter(|&t| t < finish);
+            let (served_until, phi) = match cut {
+                Some(t) => (t, Some((t - start) / (finish - start))),
+                None => (finish, None),
+            };
+            let x = fstate.scatter(&alloc.x, None, &mut scratch);
             for &(id, data) in members {
                 // Same preemption rule as the batch engines' Recorder: a
                 // different load than last time, while that one still has
@@ -575,28 +709,53 @@ where
                 st.started = st.started.min(start);
                 // Members split the merged allocation in proportion to
                 // their data; a lone member takes it verbatim so the
-                // window-of-1 path stays bit-identical to the oracle.
+                // window-of-1 path stays bit-identical to the oracle. A
+                // cut member keeps the served fraction φ of its share.
                 let frac = data / total;
-                for (w, &xi) in alloc.x.iter().enumerate() {
-                    let share = if single { xi } else { xi * frac };
+                for (w, &xi) in x.iter().enumerate() {
+                    let mut share = if single { xi } else { xi * frac };
+                    if let Some(phi) = phi {
+                        share *= phi;
+                    }
                     st.shares[w] += share;
                     if share > 0.0 {
-                        report.worker_finish[w] = finish;
+                        report.worker_finish[w] = served_until;
                     }
                 }
-                st.remaining = if st.inst_left == 1 {
-                    0.0
-                } else {
-                    st.remaining - data
-                };
-                st.inst_left -= 1;
+                match phi {
+                    None => {
+                        st.remaining = if st.inst_left == 1 {
+                            0.0
+                        } else {
+                            st.remaining - data
+                        };
+                        st.inst_left -= 1;
+                        st.pieces.push(ServedPiece {
+                            data,
+                            interrupted: false,
+                        });
+                    }
+                    Some(phi) => {
+                        // Cut: retain the prefix, re-queue the remainder;
+                        // the installment budget is not consumed.
+                        let retained = data * phi;
+                        let requeued = st.remaining - retained;
+                        report.interruptions += 1;
+                        report.requeued_data += requeued.max(0.0);
+                        st.pieces.push(ServedPiece {
+                            data: retained,
+                            interrupted: true,
+                        });
+                        st.remaining = if requeued <= 0.0 { 0.0 } else { requeued };
+                    }
+                }
                 if st.remaining <= 0.0 {
                     // Completion event: stream the load out and drop its
                     // state — nothing O(total-loads) survives it.
                     let st = states.remove(&id).expect("state is live");
                     report.loads += 1;
                     report.total_data += st.spec.size;
-                    let flow = finish - st.spec.release;
+                    let flow = served_until - st.spec.release;
                     report.flow_sum += flow;
                     if config.track_stretch {
                         let stretch = flow / st.alone;
@@ -609,14 +768,16 @@ where
                         id,
                         spec: st.spec,
                         start: st.started,
-                        finish,
+                        finish: served_until,
                         alone: st.alone,
                         installments: st.k,
                         shares: st.shares,
+                        pieces: st.pieces,
                     });
                 } else {
-                    // Only the served load's estimate changed: one powf,
-                    // then back into the pending set under its new key.
+                    // Only the served load's estimate changed: one powf —
+                    // still the healthy-platform normalization — then
+                    // back into the pending set under its new key.
                     st.est = work_estimate(st.remaining, st.spec.alpha, speed_sum);
                     let entry = PendingEntry {
                         id,
@@ -624,10 +785,10 @@ where
                         est: st.est,
                         alone: st.alone,
                     };
-                    selector.push(entry, finish);
+                    selector.push(entry, served_until);
                 }
             }
-            now = finish;
+            now = served_until;
         }
     }
     report.makespan = now;

@@ -19,15 +19,26 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     /// 128 cases: half of real proptest's default, plenty for CI while
-    /// keeping the heavier simulation properties fast.
+    /// keeping the heavier simulation properties fast. Overridable with
+    /// the `PROPTEST_CASES` environment variable (like real proptest's
+    /// fork-aware default), so CI can crank depth without a rebuild;
+    /// unparseable values fall back to 128.
     fn default() -> Self {
-        ProptestConfig { cases: 128 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(128);
+        ProptestConfig { cases }
     }
 }
 
 /// The RNG handed to strategies. Deterministic per test: seeded from an
 /// FNV-1a hash of the test's fully qualified name, so every `cargo test`
-/// run draws the same inputs.
+/// run draws the same inputs. Setting the `PROPTEST_SEED` environment
+/// variable mixes an extra 64-bit value into every per-test seed — a
+/// seed-matrix CI job explores independent input sets per matrix row
+/// while each row stays fully reproducible.
 #[derive(Clone, Debug)]
 pub struct TestRng(StdRng);
 
@@ -38,6 +49,13 @@ impl TestRng {
         for b in qualified_name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            // Golden-ratio mix keeps seed 0 distinct from "unset".
+            h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         }
         TestRng(StdRng::seed_from_u64(h))
     }
