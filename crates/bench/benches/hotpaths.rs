@@ -30,7 +30,13 @@
 //! * the `solver` group — the safeguarded-Newton + warm-start
 //!   `equal_finish_parallel` vs the nested-bisection oracle
 //!   (`equal_finish_parallel_reference`), on a FIFO-style sequence of
-//!   shrinking installments at p = 512 (the `dlt-multiload` hot path).
+//!   shrinking installments at p = 512 (the `dlt-multiload` hot path);
+//! * the `costmodel` group — the trait-dispatched solver
+//!   (`equal_finish_parallel_with` over `CostLaw::AlphaPower`) vs an
+//!   embedded copy of the pre-refactor monomorphic α-power solver, on
+//!   the same installment sequence. The expected speedup is ≈ 1.0: the
+//!   record exists to prove (and keep proving, via `bench-guard`) that
+//!   the `CostModel` abstraction is zero-cost on the default law.
 //!
 //! Besides the criterion groups, the run re-times each pair directly and
 //! writes `BENCH_hotpaths.json` (override the path with
@@ -47,6 +53,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlt_bench::BENCH_SEED;
+use dlt_core::costmodel::CostLaw;
 use dlt_core::nonlinear;
 use dlt_multiload::{
     online_schedule_reference_with_alone, online_schedule_with_alone,
@@ -243,6 +250,204 @@ fn solver_reference(platform: &Platform, sizes: &[f64], alpha: f64) -> f64 {
     acc
 }
 
+/// The pre-refactor monomorphic α-power solver, embedded verbatim as the
+/// dispatch baseline for the `costmodel` group: hardcoded `f64` α all the
+/// way down, no `CostModel` trait in sight. Kept in sync (op for op) with
+/// the executable specification in
+/// `crates/core/tests/costmodel_properties.rs`, which proves the trait
+/// path bit-identical to this exact arithmetic.
+mod monomorphic {
+    use dlt_core::nonlinear::SolverConfig;
+    use dlt_platform::Platform;
+
+    fn invert_cost_newton(c: f64, w: f64, alpha: f64, t: f64, max_inner: usize) -> (f64, f64) {
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        if alpha == 1.0 {
+            let d = c + w;
+            return (t / d, 1.0 / d);
+        }
+        let by_pow = (t / w).powf(1.0 / alpha);
+        let mut x = if c > 0.0 { (t / c).min(by_pow) } else { by_pow };
+        let (mut lo, mut hi) = (0.0f64, x);
+        let mut deriv = 0.0;
+        for _ in 0..max_inner.max(1) {
+            let xam1 = x.powf(alpha - 1.0);
+            deriv = c + alpha * w * xam1;
+            let fx = (c + w * xam1) * x - t;
+            if fx.abs() <= 4.0 * f64::EPSILON * t {
+                break;
+            }
+            if fx < 0.0 {
+                lo = x;
+            } else {
+                hi = x;
+            }
+            let newton = x - fx / deriv;
+            let next = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            let step = (next - x).abs();
+            x = next;
+            if step <= f64::EPSILON * x || hi - lo <= f64::EPSILON * hi {
+                break;
+            }
+        }
+        (x, 1.0 / deriv)
+    }
+
+    fn t_single_worker_bound(platform: &Platform, n: f64, alpha: f64) -> f64 {
+        platform
+            .iter()
+            .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn solve_total(
+        n: f64,
+        t_hi_seed: f64,
+        config: &SolverConfig,
+        warm: &mut Option<f64>,
+        mut eval: impl FnMut(f64) -> (Vec<f64>, f64),
+    ) -> (f64, Vec<f64>) {
+        let mut lo = 0.0f64;
+        let mut hi = f64::INFINITY;
+        let mut t = match *warm {
+            Some(seed) => seed,
+            None => t_hi_seed.max(1e-300),
+        };
+        for _ in 0..config.max_outer {
+            let (x, slope) = eval(t);
+            let g = x.iter().sum::<f64>() - n;
+            if g < 0.0 {
+                lo = t;
+            } else {
+                hi = t;
+            }
+            let bracket_tight = hi.is_finite() && hi - lo <= config.rel_tol * hi.max(1.0);
+            if g.abs() <= config.residual_tol * n || bracket_tight {
+                let mut x = x;
+                let s: f64 = x.iter().sum();
+                if s > 0.0 {
+                    let scale = n / s;
+                    for xi in &mut x {
+                        *xi *= scale;
+                    }
+                }
+                if t.is_finite() && t > 0.0 {
+                    *warm = Some(t);
+                }
+                return (t, x);
+            }
+            let newton = if slope > 0.0 { t - g / slope } else { f64::NAN };
+            t = if hi.is_finite() {
+                if newton.is_finite() && newton > lo && newton < hi {
+                    newton
+                } else {
+                    0.5 * (lo + hi)
+                }
+            } else {
+                let doubled = (2.0 * t).max(t_hi_seed.max(1e-300));
+                assert!(doubled <= 1e300, "monomorphic solver failed its hunt");
+                if newton.is_finite() && newton > doubled {
+                    newton
+                } else {
+                    doubled
+                }
+            };
+        }
+        panic!("monomorphic solver did not converge");
+    }
+
+    /// Pre-refactor `equal_finish_parallel`, warm handle as a bare
+    /// `Option<f64>` (the `WarmStart` struct was a newtype over it).
+    pub fn equal_finish_parallel(
+        platform: &Platform,
+        n: f64,
+        alpha: f64,
+        config: &SolverConfig,
+        warm: &mut Option<f64>,
+    ) -> (f64, Vec<f64>) {
+        let max_inner = config.max_inner;
+        let eval = |t: f64| -> (Vec<f64>, f64) {
+            let mut slope = 0.0;
+            let x = platform
+                .iter()
+                .map(|p| {
+                    let (xi, dxi) =
+                        invert_cost_newton(p.inv_bandwidth(), p.w(), alpha, t, max_inner);
+                    slope += dxi;
+                    xi
+                })
+                .collect();
+            (x, slope)
+        };
+        let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+        solve_total(n, t_hi_seed, config, warm, eval)
+    }
+}
+
+/// The FIFO-style sequence through the embedded pre-refactor monomorphic
+/// solver — the dispatch baseline of the `costmodel` group.
+fn costmodel_monomorphic(platform: &Platform, sizes: &[f64], alpha: f64) -> f64 {
+    let config = nonlinear::SolverConfig::default();
+    let mut warm = None;
+    let mut acc = 0.0;
+    for &n in sizes {
+        acc += monomorphic::equal_finish_parallel(platform, n, alpha, &config, &mut warm).0;
+    }
+    acc
+}
+
+/// The same sequence through the generic solver dispatching on the
+/// [`CostLaw`] enum — the post-refactor production path.
+fn costmodel_trait_dispatch(platform: &Platform, sizes: &[f64], alpha: f64) -> f64 {
+    let config = nonlinear::SolverConfig::default();
+    let mut warm = nonlinear::WarmStart::new();
+    let mut acc = 0.0;
+    for &n in sizes {
+        acc += nonlinear::equal_finish_parallel_with(
+            platform,
+            n,
+            CostLaw::alpha_power(alpha),
+            &config,
+            &mut warm,
+        )
+        .unwrap()
+        .makespan;
+    }
+    acc
+}
+
+fn bench_costmodel(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("costmodel");
+    for &(p, installments) in &[(64usize, 8usize), (512, 8)] {
+        let (platform, sizes) = solver_instance(p, installments);
+        let id = format!("p{p}_seq{installments}");
+        group.bench_with_input(BenchmarkId::new("trait_dispatch", &id), &p, |b, _| {
+            b.iter(|| {
+                costmodel_trait_dispatch(black_box(&platform), black_box(&sizes), black_box(1.5))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("monomorphic_prerefactor", &id),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    costmodel_monomorphic(black_box(&platform), black_box(&sizes), black_box(1.5))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_solver(c: &mut Criterion) {
     if smoke_mode() {
         return;
@@ -252,10 +457,10 @@ fn bench_solver(c: &mut Criterion) {
         let (platform, sizes) = solver_instance(p, installments);
         let id = format!("p{p}_seq{installments}");
         group.bench_with_input(BenchmarkId::new("newton_warm", &id), &p, |b, _| {
-            b.iter(|| solver_newton_warm(black_box(&platform), black_box(&sizes), 1.5))
+            b.iter(|| solver_newton_warm(black_box(&platform), black_box(&sizes), black_box(1.5)))
         });
         group.bench_with_input(BenchmarkId::new("bisection_reference", &id), &p, |b, _| {
-            b.iter(|| solver_reference(black_box(&platform), black_box(&sizes), 1.5))
+            b.iter(|| solver_reference(black_box(&platform), black_box(&sizes), black_box(1.5)))
         });
     }
     group.finish();
@@ -490,9 +695,19 @@ fn emit_json(c: &mut Criterion) {
     let dp_opt = time_min_ns(reps(200), || ws.partition(&w).unwrap());
 
     let (sv_platform, sv_sizes) = solver_instance(512, 8);
-    let sv_base = time_min_ns(reps(10), || solver_reference(&sv_platform, &sv_sizes, 1.5));
+    let sv_base = time_min_ns(reps(10), || {
+        solver_reference(&sv_platform, &sv_sizes, black_box(1.5))
+    });
     let sv_opt = time_min_ns(reps(50), || {
-        solver_newton_warm(&sv_platform, &sv_sizes, 1.5)
+        solver_newton_warm(&sv_platform, &sv_sizes, black_box(1.5))
+    });
+
+    // Dispatch overhead of the CostModel trait layer: expected ≈ 1.0x.
+    let cm_base = time_min_ns(reps(200), || {
+        costmodel_monomorphic(&sv_platform, &sv_sizes, black_box(1.5))
+    });
+    let cm_opt = time_min_ns(reps(200), || {
+        costmodel_trait_dispatch(&sv_platform, &sv_sizes, black_box(1.5))
     });
 
     let (ml_platform, ml_batch, ml_config, ml_alone) = multiload_instance(512, 64, 128);
@@ -554,7 +769,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -614,6 +829,14 @@ fn emit_json(c: &mut Criterion) {
             sv_base,
             sv_opt,
         ),
+        record(
+            "costmodel_dispatch",
+            "p=512, 8 shrinking installments, alpha=1.5, uniform profile",
+            "embedded pre-refactor monomorphic alpha-power solver",
+            "CostModel trait dispatch over CostLaw::AlphaPower (equal_finish_parallel_with)",
+            cm_base,
+            cm_opt,
+        ),
     );
     // Bench binaries run with CWD = crates/bench; default to the
     // workspace root so the trajectory file lands next to CHANGES.md.
@@ -630,7 +853,7 @@ fn emit_json(c: &mut Criterion) {
     eprintln!(
         "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x, \
          multiload_policy {:.1}x, multiload_failure {:.1}x, multiload_service {:.1}x \
-         ({:.0} decisions/sec), solver_equal_finish {:.1}x",
+         ({:.0} decisions/sec), solver_equal_finish {:.1}x, costmodel_dispatch {:.2}x",
         sim_base / sim_opt,
         dp_base / dp_opt,
         ml_base / ml_opt,
@@ -638,7 +861,8 @@ fn emit_json(c: &mut Criterion) {
         fa_base / fa_opt,
         se_base / se_opt,
         se_decisions_per_sec,
-        sv_base / sv_opt
+        sv_base / sv_opt,
+        cm_base / cm_opt
     );
 }
 
@@ -651,6 +875,7 @@ criterion_group!(
     bench_failure,
     bench_service,
     bench_solver,
+    bench_costmodel,
     emit_json
 );
 criterion_main!(benches);

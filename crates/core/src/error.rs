@@ -15,6 +15,14 @@ pub enum DltError {
         /// The rejected exponent.
         value: f64,
     },
+    /// A cost-model parameter is out of its documented range (e.g. an
+    /// Amdahl serial fraction outside `[0, 1]`, a negative latency).
+    InvalidModel {
+        /// Which constraint was violated.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
     /// A provided worker ordering is not a permutation of `0..p`.
     InvalidOrder,
     /// Numerical root finding failed to converge (should not happen for
@@ -33,6 +41,9 @@ impl fmt::Display for DltError {
             }
             DltError::InvalidAlpha { value } => {
                 write!(f, "power-law exponent must be finite and >= 1, got {value}")
+            }
+            DltError::InvalidModel { what, value } => {
+                write!(f, "{what}, got {value}")
             }
             DltError::InvalidOrder => write!(f, "ordering must be a permutation of 0..p"),
             DltError::NoConvergence { context } => {
@@ -56,6 +67,12 @@ mod tests {
         assert!(DltError::InvalidAlpha { value: 0.5 }
             .to_string()
             .contains("0.5"));
+        assert!(DltError::InvalidModel {
+            what: "serial fraction must be in [0, 1]",
+            value: 1.5
+        }
+        .to_string()
+        .contains("1.5"));
         assert!(DltError::InvalidOrder.to_string().contains("permutation"));
         assert!(DltError::NoConvergence { context: "x" }
             .to_string()

@@ -21,7 +21,11 @@
 //!   ([`nonlinear::SolverConfig`], [`nonlinear::WarmStart`]), under both
 //!   communication models; the original nested bisection is kept as the
 //!   `*_reference` oracles. These are the *baselines* whose asymptotic
-//!   irrelevance the paper proves.
+//!   irrelevance the paper proves. The solvers are generic over a
+//!   pluggable [`costmodel::CostModel`] — a bare `f64` α is the paper's
+//!   power law, and [`costmodel::AmdahlSerial`],
+//!   [`costmodel::AffineLatency`], and [`costmodel::Piecewise`] open the
+//!   scenario families of arXiv:1902.01952 and friends.
 //! * **The no-free-lunch analysis** ([`analysis`]) — Section 2's result:
 //!   a single DLT round of `N` data over `P` homogeneous workers executes
 //!   only `W_partial/W = 1/P^(α−1)` of the total work, so the remaining
@@ -48,11 +52,13 @@
 //! ```
 
 pub mod analysis;
+pub mod costmodel;
 pub mod error;
 pub mod installments;
 pub mod linear;
 pub mod model;
 pub mod nonlinear;
 
+pub use costmodel::{AffineLatency, AlphaPower, AmdahlSerial, CostLaw, CostModel, Piecewise};
 pub use error::DltError;
 pub use model::LoadModel;

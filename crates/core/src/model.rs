@@ -1,23 +1,33 @@
-//! Workload cost models.
+//! Workload *divisibility* taxonomy.
+//!
+//! **Deprecation note:** this module used to carry a third variant,
+//! `LoadModel::Power { alpha }`, duplicating the α-power cost law. Power
+//! workloads are now expressed through the unified [`crate::costmodel`]
+//! vocabulary — use [`crate::costmodel::CostLaw::AlphaPower`] (or a bare
+//! `f64` α, which implements [`crate::costmodel::CostModel`] directly)
+//! anywhere the old `LoadModel::Power` went; the former
+//! `LoadModel::alpha()` accessor is superseded by
+//! [`crate::costmodel::CostLaw::alpha`]. What remains here is the
+//! paper's Section 3 divisibility taxonomy, which is about *work
+//! accounting*, not solver cost laws.
 
-/// How much *work* processing `x` data units requires.
+use crate::costmodel::CostLaw;
+
+/// How much *work* processing `x` data units requires, for the loads the
+/// paper classifies by divisibility.
 ///
 /// The paper's taxonomy:
 /// * [`LoadModel::Linear`] — classical DLT (`work = x`), fully divisible;
-/// * [`LoadModel::Power`] — `work = x^α` with `α > 1` (e.g. α = 2 for the
-///   outer product on a length-`x` slice), the non-linear loads of
-///   Section 2 that are *not* divisible;
 /// * [`LoadModel::NLogN`] — sorting-like costs (`work = x·log₂x`),
 ///   "almost divisible" per Section 3.
+///
+/// The non-linear loads of Section 2 (`work = x^α`, α > 1) live in the
+/// solver-facing [`crate::costmodel`] module (see the module-level
+/// deprecation note); [`LoadModel::from_law`] bridges from there.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LoadModel {
     /// `work(x) = x`.
     Linear,
-    /// `work(x) = x^alpha`, `alpha ≥ 1`.
-    Power {
-        /// The exponent α.
-        alpha: f64,
-    },
     /// `work(x) = x·log₂(max(x, 1))`.
     NLogN,
 }
@@ -28,7 +38,6 @@ impl LoadModel {
         debug_assert!(x >= 0.0);
         match *self {
             LoadModel::Linear => x,
-            LoadModel::Power { alpha } => x.powf(alpha),
             LoadModel::NLogN => {
                 if x <= 1.0 {
                     0.0
@@ -44,15 +53,20 @@ impl LoadModel {
     pub fn is_divisible(&self) -> bool {
         match *self {
             LoadModel::Linear => true,
-            LoadModel::Power { alpha } => alpha == 1.0,
             LoadModel::NLogN => false,
         }
     }
 
-    /// The exponent for power models; `None` otherwise.
-    pub fn alpha(&self) -> Option<f64> {
-        match *self {
-            LoadModel::Power { alpha } => Some(alpha),
+    /// The divisibility class of a solver cost law: linear laws (α = 1
+    /// power, fully serial Amdahl) are divisible, everything else is
+    /// Section 2's non-divisible regime and has no [`LoadModel`] —
+    /// keep using the [`CostLaw`] itself there.
+    pub fn from_law(law: &CostLaw) -> Option<LoadModel> {
+        match *law {
+            CostLaw::AlphaPower { alpha: 1.0 } => Some(LoadModel::Linear),
+            CostLaw::AmdahlSerial { serial, alpha } if serial == 1.0 || alpha == 1.0 => {
+                Some(LoadModel::Linear)
+            }
             _ => None,
         }
     }
@@ -61,7 +75,6 @@ impl LoadModel {
     pub fn name(&self) -> String {
         match *self {
             LoadModel::Linear => "linear".to_string(),
-            LoadModel::Power { alpha } => format!("x^{alpha}"),
             LoadModel::NLogN => "n·log n".to_string(),
         }
     }
@@ -70,25 +83,12 @@ impl LoadModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costmodel::CostModel;
 
     #[test]
     fn linear_work() {
         assert_eq!(LoadModel::Linear.work(5.0), 5.0);
         assert!(LoadModel::Linear.is_divisible());
-    }
-
-    #[test]
-    fn power_work() {
-        let m = LoadModel::Power { alpha: 2.0 };
-        assert_eq!(m.work(3.0), 9.0);
-        assert!(!m.is_divisible());
-        assert_eq!(m.alpha(), Some(2.0));
-    }
-
-    #[test]
-    fn power_with_alpha_one_is_divisible() {
-        let m = LoadModel::Power { alpha: 1.0 };
-        assert!(m.is_divisible());
     }
 
     #[test]
@@ -101,16 +101,42 @@ mod tests {
     }
 
     #[test]
-    fn superlinearity_of_power_model() {
-        // work(a) + work(b) < work(a+b) for α > 1.
-        let m = LoadModel::Power { alpha: 2.0 };
-        assert!(m.work(2.0) + m.work(3.0) < m.work(5.0));
+    fn power_workloads_moved_to_costmodel() {
+        // The old `LoadModel::Power { alpha }` is now `CostLaw::AlphaPower`
+        // (or a bare f64 α); the work accounting is unchanged.
+        let law = CostLaw::alpha_power(2.0);
+        assert_eq!(law.work(3.0), 9.0);
+        assert_eq!(law.alpha(), 2.0);
+        // Superlinearity: work(a) + work(b) < work(a+b) for α > 1.
+        assert!(law.work(2.0) + law.work(3.0) < law.work(5.0));
+    }
+
+    #[test]
+    fn divisibility_class_of_cost_laws() {
+        assert_eq!(
+            LoadModel::from_law(&CostLaw::alpha_power(1.0)),
+            Some(LoadModel::Linear)
+        );
+        assert_eq!(LoadModel::from_law(&CostLaw::alpha_power(2.0)), None);
+        assert_eq!(
+            LoadModel::from_law(&CostLaw::AmdahlSerial {
+                serial: 1.0,
+                alpha: 3.0
+            }),
+            Some(LoadModel::Linear)
+        );
+        assert_eq!(
+            LoadModel::from_law(&CostLaw::AmdahlSerial {
+                serial: 0.5,
+                alpha: 3.0
+            }),
+            None
+        );
     }
 
     #[test]
     fn names() {
         assert_eq!(LoadModel::Linear.name(), "linear");
-        assert_eq!(LoadModel::Power { alpha: 2.0 }.name(), "x^2");
         assert_eq!(LoadModel::NLogN.name(), "n·log n");
     }
 }

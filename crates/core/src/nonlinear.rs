@@ -20,7 +20,14 @@
 //! [`equal_finish_one_port_reference`] — the property-tested oracles and
 //! the `solver` bench baseline. Both the paper's parallel-communication
 //! model and the sequential one-port model of [33–35] are provided.
+//!
+//! Every solver is generic over the per-worker cost law via the
+//! [`CostModel`] trait: a bare `f64` α is the paper's `c·x + w·x^α` (so
+//! historical call sites are unchanged, bit for bit), and
+//! [`crate::costmodel`] ships Amdahl-like, affine-latency, and piecewise
+//! laws that ride the same Newton machinery.
 
+use crate::costmodel::{CostLaw, CostModel, ModelVisitor};
 use crate::error::DltError;
 use dlt_platform::Platform;
 use dlt_sim::{ChunkAssignment, CommMode, Schedule};
@@ -32,8 +39,9 @@ pub struct NonlinearAllocation {
     pub x: Vec<f64>,
     /// Common finish time of all (participating) workers.
     pub makespan: f64,
-    /// Exponent of the workload.
-    pub alpha: f64,
+    /// Cost law of the workload (for the paper's α-power loads this is
+    /// [`CostLaw::AlphaPower`]).
+    pub model: CostLaw,
     /// Total data `N` that was distributed.
     pub n: f64,
     /// Communication model.
@@ -43,14 +51,21 @@ pub struct NonlinearAllocation {
 }
 
 impl NonlinearAllocation {
-    /// Total work executed during the round: `Σ x_i^α`.
-    pub fn work_done(&self) -> f64 {
-        self.x.iter().map(|&x| x.powf(self.alpha)).sum()
+    /// Primary exponent of the workload's cost law.
+    pub fn alpha(&self) -> f64 {
+        self.model.alpha()
     }
 
-    /// Total work the full dataset represents: `N^α`.
+    /// Total work executed during the round: `Σ work(x_i)` (`Σ x_i^α`
+    /// under the α-power law).
+    pub fn work_done(&self) -> f64 {
+        self.x.iter().map(|&x| self.model.work(x)).sum()
+    }
+
+    /// Total work the full dataset represents (`N^α` under the α-power
+    /// law).
     pub fn total_work(&self) -> f64 {
-        self.n.powf(self.alpha)
+        self.model.work(self.n)
     }
 
     /// Fraction `W_partial / W` of the overall work executed in this round
@@ -65,7 +80,7 @@ impl NonlinearAllocation {
         let assignments = self
             .order
             .iter()
-            .map(|&i| ChunkAssignment::new(i, self.x[i], self.x[i].powf(self.alpha)))
+            .map(|&i| ChunkAssignment::new(i, self.x[i], self.model.work(self.x[i])))
             .collect();
         Schedule::single_round(assignments, self.comm_mode)
     }
@@ -166,53 +181,62 @@ impl WarmStart {
     }
 }
 
-fn validate(n: f64, alpha: f64) -> Result<(), DltError> {
+fn validate<M: CostModel>(n: f64, model: &M) -> Result<(), DltError> {
     if !(n.is_finite() && n > 0.0) {
         return Err(DltError::InvalidLoad { value: n });
     }
-    if !(alpha.is_finite() && alpha >= 1.0) {
-        return Err(DltError::InvalidAlpha { value: alpha });
-    }
-    Ok(())
+    model.validate()
 }
 
 // ---------------------------------------------------------------------------
-// Inner solve: c·x + w·x^α = t
+// Inner solve: cost(c, w, x) = t
 // ---------------------------------------------------------------------------
 
-/// Solves `c·x + w·x^α = t` for `x ≥ 0` by safeguarded Newton descent,
-/// returning `(x, dx/dt)` — the share and its sensitivity `1/f'(x)`, which
-/// the outer root-finder accumulates into its own derivative.
+/// Solves `model.cost(c, w, x) = t` for `x ≥ 0` by safeguarded Newton
+/// descent, returning `(x, dx/dt)` — the share and its sensitivity
+/// `1/f'(x)`, which the outer root-finder accumulates into its own
+/// derivative.
 ///
-/// `f(x) = c·x + w·x^α − t` is convex and strictly increasing for
-/// `α ≥ 1`, and each single-term inverse is an upper bound on the root
-/// (`f(t/c) = w·(t/c)^α ≥ 0`, `f((t/w)^{1/α}) = c·(t/w)^{1/α} ≥ 0`), so
-/// Newton from `x₀ = min(t/c, (t/w)^{1/α})` descends monotonically onto
-/// the root — no doubling search needed. A bisection step replaces any
-/// iterate that leaves the bracket `[lo, hi]` maintained alongside (finite
-/// arithmetic can push Newton past the root near convergence).
+/// The residual is convex and strictly increasing (the [`CostModel`]
+/// contract), and [`CostModel::inverse_upper_bound`] over-shoots the root
+/// — under the α-power law `f(t/c) = w·(t/c)^α ≥ 0` and
+/// `f((t/w)^{1/α}) = c·(t/w)^{1/α} ≥ 0`, so `x₀ = min(t/c, (t/w)^{1/α})`
+/// — so Newton descends monotonically onto the root with no doubling
+/// search. A bisection step replaces any iterate that leaves the bracket
+/// `[lo, hi]` maintained alongside (finite arithmetic can push Newton
+/// past the root near convergence, and piecewise laws kink the
+/// derivative). Exact closed forms ([`CostModel::exact_inverse`], e.g.
+/// the α = 1 linear degeneration) bypass the loop entirely.
 ///
 /// Returns `(0, 0)` when `t ≤ 0` — in the one-port model a worker whose
 /// remaining window is exhausted gets nothing and contributes no slope.
-fn invert_cost_newton(c: f64, w: f64, alpha: f64, t: f64, max_inner: usize) -> (f64, f64) {
+fn invert_cost_newton<M: CostModel>(
+    model: M,
+    c: f64,
+    w: f64,
+    t: f64,
+    max_inner: usize,
+) -> (f64, f64) {
     if t <= 0.0 {
         return (0.0, 0.0);
     }
-    if alpha == 1.0 {
-        // Linear degeneration: closed form, no iteration.
-        let d = c + w;
-        return (t / d, 1.0 / d);
+    if let Some(exact) = model.exact_inverse(c, w, t) {
+        return exact;
     }
-    let by_pow = (t / w).powf(1.0 / alpha);
-    let mut x = if c > 0.0 { (t / c).min(by_pow) } else { by_pow };
+    let mut x = model.inverse_upper_bound(c, w, t);
+    // NaN and non-positive bounds both mean "no positive share fits".
+    if x.is_nan() || x <= 0.0 || x.is_infinite() {
+        // No positive share fits in this window (e.g. t below an affine
+        // latency). Unreachable for the α-power law with t > 0.
+        return (0.0, 0.0);
+    }
     let (mut lo, mut hi) = (0.0f64, x);
     let mut deriv = 0.0;
     // At least one iteration always runs (powf is the whole cost of this
     // function, so `deriv` is only ever computed inside the loop).
     for _ in 0..max_inner.max(1) {
-        let xam1 = x.powf(alpha - 1.0);
-        deriv = c + alpha * w * xam1;
-        let fx = (c + w * xam1) * x - t;
+        let (fx, d) = model.residual_deriv(c, w, x, t);
+        deriv = d;
         // Residual at rounding level: the share is as converged as f64
         // arithmetic can express it.
         if fx.abs() <= 4.0 * f64::EPSILON * t {
@@ -238,17 +262,17 @@ fn invert_cost_newton(c: f64, w: f64, alpha: f64, t: f64, max_inner: usize) -> (
     (x, 1.0 / deriv)
 }
 
-/// The original bisection inverse of `c·x + w·x^α = t` — the executable
+/// The original bisection inverse of `cost(c, w, x) = t` — the executable
 /// specification [`invert_cost_newton`] is property-tested against, and
 /// the inner loop of the `*_reference` solvers.
 ///
 /// Returns 0 when `t ≤ 0`. Uses bisection on `[0, hi]` where `hi` doubles
 /// until the residual flips sign; ~90 iterations give full f64 precision.
-fn invert_cost_reference(c: f64, w: f64, alpha: f64, t: f64) -> f64 {
+fn invert_cost_reference<M: CostModel>(model: M, c: f64, w: f64, t: f64) -> f64 {
     if t <= 0.0 {
         return 0.0;
     }
-    let f = |x: f64| c * x + w * x.powf(alpha) - t;
+    let f = |x: f64| model.cost(c, w, x) - t;
     let mut hi = 1.0;
     while f(hi) < 0.0 {
         hi *= 2.0;
@@ -302,23 +326,23 @@ pub struct HomogeneousNonlinear {
 /// assert_eq!(r.per_worker, 1000.0 / 16.0);
 /// assert!((r.work_fraction - 1.0 / 16.0).abs() < 1e-12);
 /// ```
-pub fn homogeneous_allocation(
+pub fn homogeneous_allocation<M: CostModel>(
     p: usize,
     n: f64,
-    alpha: f64,
+    model: M,
     c: f64,
     w: f64,
 ) -> Result<HomogeneousNonlinear, DltError> {
-    validate(n, alpha)?;
+    validate(n, &model)?;
     assert!(p > 0, "need at least one worker");
     let share = n / p as f64;
-    let makespan = c * share + w * share.powf(alpha);
-    let work_done = p as f64 * share.powf(alpha);
+    let makespan = model.cost(c, w, share);
+    let work_done = p as f64 * model.work(share);
     Ok(HomogeneousNonlinear {
         per_worker: share,
         makespan,
         work_done,
-        work_fraction: work_done / n.powf(alpha),
+        work_fraction: work_done / model.work(n),
     })
 }
 
@@ -328,16 +352,17 @@ pub fn homogeneous_allocation(
 
 /// `T` upper bound shared by every solver: give the whole load to the
 /// single best worker.
-fn t_single_worker_bound(platform: &Platform, n: f64, alpha: f64) -> f64 {
+fn t_single_worker_bound<M: CostModel>(platform: &Platform, n: f64, model: M) -> f64 {
     platform
         .iter()
-        .map(|p| p.inv_bandwidth() * n + p.w() * n.powf(alpha))
+        .map(|p| model.cost(p.inv_bandwidth(), p.w(), n))
         .fold(f64::INFINITY, f64::min)
 }
 
 /// Equal-finish-time allocation under the parallel communication model:
-/// minimizes the makespan of distributing and processing `n` data units of
-/// an `x^α` workload over a heterogeneous platform.
+/// minimizes the makespan of distributing and processing `n` data units
+/// over a heterogeneous platform. The workload's cost law is any
+/// [`CostModel`] — pass a bare `f64` α for the paper's `x^α` law.
 ///
 /// Cold-start convenience wrapper around [`equal_finish_parallel_with`];
 /// callers that solve repeatedly on the same platform should thread a
@@ -357,15 +382,15 @@ fn t_single_worker_bound(platform: &Platform, n: f64, alpha: f64) -> f64 {
 /// // … yet most of the N^α work remains: the paper's no-free-lunch claim.
 /// assert!(alloc.work_fraction_done() < 1.0);
 /// ```
-pub fn equal_finish_parallel(
+pub fn equal_finish_parallel<M: CostModel>(
     platform: &Platform,
     n: f64,
-    alpha: f64,
+    model: M,
 ) -> Result<NonlinearAllocation, DltError> {
     equal_finish_parallel_with(
         platform,
         n,
-        alpha,
+        model,
         &SolverConfig::default(),
         &mut WarmStart::new(),
     )
@@ -375,33 +400,64 @@ pub fn equal_finish_parallel(
 /// handle. A cold handle reproduces the plain entry point bit for bit; a
 /// warm one seeds the outer bracket from the previous root (and is updated
 /// with this solve's root on success).
-pub fn equal_finish_parallel_with(
+pub fn equal_finish_parallel_with<M: CostModel>(
     platform: &Platform,
     n: f64,
-    alpha: f64,
+    model: M,
     config: &SolverConfig,
     warm: &mut WarmStart,
 ) -> Result<NonlinearAllocation, DltError> {
-    validate(n, alpha)?;
+    // Unswitch first (one match for a `CostLaw`, a no-op for concrete
+    // models), so the Newton loops below always run monomorphic.
+    struct Solve<'a> {
+        platform: &'a Platform,
+        n: f64,
+        config: &'a SolverConfig,
+        warm: &'a mut WarmStart,
+    }
+    impl ModelVisitor for Solve<'_> {
+        type Out = Result<NonlinearAllocation, DltError>;
+        fn visit<M: CostModel>(self, model: M) -> Self::Out {
+            equal_finish_parallel_mono(self.platform, self.n, model, self.config, self.warm)
+        }
+    }
+    model.unswitch(Solve {
+        platform,
+        n,
+        config,
+        warm,
+    })
+}
+
+/// The monomorphic body of [`equal_finish_parallel_with`], reached only
+/// through [`CostModel::unswitch`] — `M` here is always a concrete law.
+fn equal_finish_parallel_mono<M: CostModel>(
+    platform: &Platform,
+    n: f64,
+    model: M,
+    config: &SolverConfig,
+    warm: &mut WarmStart,
+) -> Result<NonlinearAllocation, DltError> {
+    validate(n, &model)?;
     let max_inner = config.max_inner;
     let eval = |t: f64| -> (Vec<f64>, f64) {
         let mut slope = 0.0;
         let x = platform
             .iter()
             .map(|p| {
-                let (xi, dxi) = invert_cost_newton(p.inv_bandwidth(), p.w(), alpha, t, max_inner);
+                let (xi, dxi) = invert_cost_newton(model, p.inv_bandwidth(), p.w(), t, max_inner);
                 slope += dxi;
                 xi
             })
             .collect();
         (x, slope)
     };
-    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let t_hi_seed = t_single_worker_bound(platform, n, model);
     let (t, x) = solve_total(n, t_hi_seed, config, warm, eval)?;
     Ok(NonlinearAllocation {
         x,
         makespan: t,
-        alpha,
+        model: model.as_law(),
         n,
         comm_mode: CommMode::Parallel,
         order: (0..platform.len()).collect(),
@@ -413,24 +469,24 @@ pub fn equal_finish_parallel_with(
 /// property tests bound the Newton solver to within `1e-9` relative error
 /// of this oracle, and the `solver` hotpaths bench group measures the
 /// Newton + warm-start speedup against it.
-pub fn equal_finish_parallel_reference(
+pub fn equal_finish_parallel_reference<M: CostModel>(
     platform: &Platform,
     n: f64,
-    alpha: f64,
+    model: M,
 ) -> Result<NonlinearAllocation, DltError> {
-    validate(n, alpha)?;
+    validate(n, &model)?;
     let shares_at = |t: f64| -> Vec<f64> {
         platform
             .iter()
-            .map(|p| invert_cost_reference(p.inv_bandwidth(), p.w(), alpha, t))
+            .map(|p| invert_cost_reference(model, p.inv_bandwidth(), p.w(), t))
             .collect()
     };
-    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let t_hi_seed = t_single_worker_bound(platform, n, model);
     let (t, x) = bisect_total_reference(n, t_hi_seed, shares_at)?;
     Ok(NonlinearAllocation {
         x,
         makespan: t,
-        alpha,
+        model: model.as_law(),
         n,
         comm_mode: CommMode::Parallel,
         order: (0..platform.len()).collect(),
@@ -479,16 +535,16 @@ fn validate_order(order: Option<Vec<usize>>, platform: &Platform) -> Result<Vec<
 /// let par = equal_finish_parallel(&platform, 30.0, 2.0).unwrap();
 /// assert!(op.makespan >= par.makespan - 1e-9);
 /// ```
-pub fn equal_finish_one_port(
+pub fn equal_finish_one_port<M: CostModel>(
     platform: &Platform,
     n: f64,
-    alpha: f64,
+    model: M,
     order: Option<Vec<usize>>,
 ) -> Result<NonlinearAllocation, DltError> {
     equal_finish_one_port_with(
         platform,
         n,
-        alpha,
+        model,
         order,
         &SolverConfig::default(),
         &mut WarmStart::new(),
@@ -502,15 +558,55 @@ pub fn equal_finish_one_port(
 /// sends: worker `σ(k)` sees the local window `s_k = t − Σ_{j<k} c_j x_j`,
 /// so `dx_k/dt = (1 − Σ_{j<k} c_j · dx_j/dt) / f'_k(x_k)`, accumulated in
 /// service order.
-pub fn equal_finish_one_port_with(
+pub fn equal_finish_one_port_with<M: CostModel>(
     platform: &Platform,
     n: f64,
-    alpha: f64,
+    model: M,
     order: Option<Vec<usize>>,
     config: &SolverConfig,
     warm: &mut WarmStart,
 ) -> Result<NonlinearAllocation, DltError> {
-    validate(n, alpha)?;
+    // Same unswitch-then-solve shape as `equal_finish_parallel_with`.
+    struct Solve<'a> {
+        platform: &'a Platform,
+        n: f64,
+        order: Option<Vec<usize>>,
+        config: &'a SolverConfig,
+        warm: &'a mut WarmStart,
+    }
+    impl ModelVisitor for Solve<'_> {
+        type Out = Result<NonlinearAllocation, DltError>;
+        fn visit<M: CostModel>(self, model: M) -> Self::Out {
+            equal_finish_one_port_mono(
+                self.platform,
+                self.n,
+                model,
+                self.order,
+                self.config,
+                self.warm,
+            )
+        }
+    }
+    model.unswitch(Solve {
+        platform,
+        n,
+        order,
+        config,
+        warm,
+    })
+}
+
+/// The monomorphic body of [`equal_finish_one_port_with`], reached only
+/// through [`CostModel::unswitch`].
+fn equal_finish_one_port_mono<M: CostModel>(
+    platform: &Platform,
+    n: f64,
+    model: M,
+    order: Option<Vec<usize>>,
+    config: &SolverConfig,
+    warm: &mut WarmStart,
+) -> Result<NonlinearAllocation, DltError> {
+    validate(n, &model)?;
     let p = platform.len();
     let order = validate_order(order, platform)?;
     let order_for_closure = order.clone();
@@ -524,7 +620,7 @@ pub fn equal_finish_one_port_with(
             let worker = platform.worker(i);
             let c = worker.inv_bandwidth();
             let (xi, dxi_local) =
-                invert_cost_newton(c, worker.w(), alpha, t - elapsed_comm, max_inner);
+                invert_cost_newton(model, c, worker.w(), t - elapsed_comm, max_inner);
             let dxi_dt = dxi_local * (1.0 - elapsed_slope);
             x[i] = xi;
             elapsed_comm += c * xi;
@@ -533,12 +629,12 @@ pub fn equal_finish_one_port_with(
         }
         (x, slope)
     };
-    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let t_hi_seed = t_single_worker_bound(platform, n, model);
     let (t, x) = solve_total(n, t_hi_seed, config, warm, eval)?;
     Ok(NonlinearAllocation {
         x,
         makespan: t,
-        alpha,
+        model: model.as_law(),
         n,
         comm_mode: CommMode::OnePort,
         order,
@@ -548,13 +644,13 @@ pub fn equal_finish_one_port_with(
 /// The original nested-bisection solver for the one-port model — the
 /// oracle of [`equal_finish_one_port`] (see
 /// [`equal_finish_parallel_reference`]).
-pub fn equal_finish_one_port_reference(
+pub fn equal_finish_one_port_reference<M: CostModel>(
     platform: &Platform,
     n: f64,
-    alpha: f64,
+    model: M,
     order: Option<Vec<usize>>,
 ) -> Result<NonlinearAllocation, DltError> {
-    validate(n, alpha)?;
+    validate(n, &model)?;
     let p = platform.len();
     let order = validate_order(order, platform)?;
     let order_for_closure = order.clone();
@@ -564,18 +660,18 @@ pub fn equal_finish_one_port_reference(
         for &i in &order_for_closure {
             let worker = platform.worker(i);
             let xi =
-                invert_cost_reference(worker.inv_bandwidth(), worker.w(), alpha, t - elapsed_comm);
+                invert_cost_reference(model, worker.inv_bandwidth(), worker.w(), t - elapsed_comm);
             x[i] = xi;
             elapsed_comm += worker.inv_bandwidth() * xi;
         }
         x
     };
-    let t_hi_seed = t_single_worker_bound(platform, n, alpha);
+    let t_hi_seed = t_single_worker_bound(platform, n, model);
     let (t, x) = bisect_total_reference(n, t_hi_seed, shares_at)?;
     Ok(NonlinearAllocation {
         x,
         makespan: t,
-        alpha,
+        model: model.as_law(),
         n,
         comm_mode: CommMode::OnePort,
         order,
@@ -730,10 +826,10 @@ mod tests {
         for &(c, w, alpha) in &[(1.0, 1.0, 2.0), (0.5, 2.0, 1.5), (0.0, 1.0, 3.0)] {
             for &x in &[0.1, 1.0, 7.3, 150.0] {
                 let t = c * x + w * f64::powf(x, alpha);
-                let (back, slope) = invert_cost_newton(c, w, alpha, t, 64);
+                let (back, slope) = invert_cost_newton(alpha, c, w, t, 64);
                 assert!((back - x).abs() < 1e-10 * x.max(1.0), "x={x} back={back}");
                 assert!(slope > 0.0 && slope.is_finite());
-                let reference = invert_cost_reference(c, w, alpha, t);
+                let reference = invert_cost_reference(alpha, c, w, t);
                 assert!(rel(back, reference) < 1e-12, "{back} vs {reference}");
             }
         }
@@ -741,18 +837,84 @@ mod tests {
 
     #[test]
     fn invert_cost_zero_time_gives_zero() {
-        assert_eq!(invert_cost_newton(1.0, 1.0, 2.0, 0.0, 64), (0.0, 0.0));
-        assert_eq!(invert_cost_newton(1.0, 1.0, 2.0, -3.0, 64), (0.0, 0.0));
-        assert_eq!(invert_cost_reference(1.0, 1.0, 2.0, 0.0), 0.0);
-        assert_eq!(invert_cost_reference(1.0, 1.0, 2.0, -3.0), 0.0);
+        assert_eq!(invert_cost_newton(2.0, 1.0, 1.0, 0.0, 64), (0.0, 0.0));
+        assert_eq!(invert_cost_newton(2.0, 1.0, 1.0, -3.0, 64), (0.0, 0.0));
+        assert_eq!(invert_cost_reference(2.0, 1.0, 1.0, 0.0), 0.0);
+        assert_eq!(invert_cost_reference(2.0, 1.0, 1.0, -3.0), 0.0);
     }
 
     #[test]
     fn invert_cost_linear_is_closed_form() {
         // α = 1 takes the exact closed-form path: t / (c + w).
-        let (x, slope) = invert_cost_newton(2.0, 3.0, 1.0, 10.0, 64);
+        let (x, slope) = invert_cost_newton(1.0, 2.0, 3.0, 10.0, 64);
         assert_eq!(x, 2.0);
         assert_eq!(slope, 0.2);
+    }
+
+    #[test]
+    fn invert_cost_generic_models_roundtrip() {
+        // Every shipped law inverts its own cost through the generic
+        // Newton loop and agrees with its bisection reference.
+        use crate::costmodel::{AffineLatency, AmdahlSerial, Piecewise};
+        let amdahl = AmdahlSerial {
+            serial: 0.3,
+            alpha: 2.5,
+        };
+        let affine = AffineLatency {
+            latency: 0.7,
+            alpha: 2.0,
+        };
+        let piecewise = Piecewise {
+            threshold: 4.0,
+            alpha_lo: 1.5,
+            alpha_hi: 3.0,
+        };
+        fn check<M: CostModel>(model: M) {
+            for &x in &[0.1, 1.0, 3.9, 4.1, 42.0] {
+                let t = model.cost(0.5, 1.5, x);
+                let (back, slope) = invert_cost_newton(model, 0.5, 1.5, t, 64);
+                assert!(
+                    (back - x).abs() < 1e-9 * x.max(1.0),
+                    "{}: x={x} back={back}",
+                    model.name()
+                );
+                assert!(slope > 0.0 && slope.is_finite());
+                let reference = invert_cost_reference(model, 0.5, 1.5, t);
+                assert!(
+                    (back - reference).abs() < 1e-9 * x.max(1.0),
+                    "{}: {back} vs {reference}",
+                    model.name()
+                );
+            }
+        }
+        check(amdahl);
+        check(affine);
+        check(piecewise);
+        check(amdahl.as_law());
+        check(affine.as_law());
+        check(piecewise.as_law());
+        // An affine window shorter than the latency starves the worker.
+        assert_eq!(invert_cost_newton(affine, 0.5, 1.5, 0.5, 64), (0.0, 0.0));
+    }
+
+    #[test]
+    fn amdahl_solve_matches_reference_and_keeps_serial_work() {
+        use crate::costmodel::AmdahlSerial;
+        let platform = Platform::from_speeds_and_costs(&[1.0, 2.0, 5.0], &[1.0, 0.3, 0.8]).unwrap();
+        let model = AmdahlSerial {
+            serial: 0.4,
+            alpha: 2.0,
+        };
+        let a = equal_finish_parallel(&platform, 30.0, model).unwrap();
+        let r = equal_finish_parallel_reference(&platform, 30.0, model).unwrap();
+        assert!(rel(a.makespan, r.makespan) < 1e-9);
+        assert!((a.x.iter().sum::<f64>() - 30.0).abs() < 1e-9 * 30.0);
+        // The divisible fraction s of the work survives any platform:
+        // W_round ≥ s·N, so the remaining fraction stays below 1 − s·N/W.
+        let pure = equal_finish_parallel(&platform, 30.0, 2.0).unwrap();
+        assert!(a.work_fraction_done() > pure.work_fraction_done());
+        assert_eq!(a.model, model.as_law());
+        assert_eq!(a.alpha(), 2.0);
     }
 
     #[test]

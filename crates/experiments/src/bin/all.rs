@@ -19,6 +19,7 @@ use dlt_experiments::competitive::{
 };
 use dlt_experiments::fig4::{fig4_table, run_fig4, PAPER_P_VALUES, PAPER_TRIALS};
 use dlt_experiments::footprint::run_fig2;
+use dlt_experiments::models::ModelFamily;
 use dlt_experiments::multiload::{
     multiload_policy_table, multiload_table, run_multiload, run_multiload_policy, DEFAULT_ALPHAS,
     DEFAULT_INSTALLMENTS,
@@ -28,6 +29,7 @@ use dlt_experiments::rho::run_rho_table;
 use dlt_experiments::runner::{flags, parse_flags, thread_count, write_and_print};
 use dlt_experiments::sec2::{run_sec2, PAPER_ALPHAS};
 use dlt_experiments::sec3::{run_hetero_sort, run_sample_sort};
+use dlt_experiments::sec_amdahl::{run_sec_amdahl, PAPER_SERIALS};
 use dlt_experiments::service::{
     default_cells, run_service, service_table, smoke_cells, DEFAULT_SERVICE_LOADS,
     DEFAULT_SERVICE_P, DEFAULT_UTILIZATION,
@@ -62,8 +64,30 @@ fn main() {
         &PAPER_ALPHAS,
         4096.0,
         seed,
+        ModelFamily::AlphaPower,
     );
     write_and_print(&t, "sec2_no_free_lunch");
+
+    println!("== Extension: Amdahl-law relief of the no-free-lunch bound ==");
+    {
+        // Mirrors the `sec-amdahl` binary defaults exactly so the
+        // committed full-scale CSV stays regenerable from either entry
+        // point; smoke trims the P sweep.
+        let amdahl_ps: &[usize] = if smoke {
+            &[2, 8, 32]
+        } else {
+            &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        };
+        let t = run_sec_amdahl(
+            amdahl_ps,
+            &PAPER_SERIALS,
+            &PAPER_ALPHAS,
+            4096.0,
+            seed,
+            threads,
+        );
+        write_and_print(&t, "sec_amdahl");
+    }
 
     println!("== Section 3.1: sample sort ==");
     let ns: &[usize] = if smoke {
@@ -142,6 +166,7 @@ fn main() {
             part_trials,
             seed,
             threads,
+            ModelFamily::AlphaPower,
         );
         let t = multiload_table(profile.name(), ml_p, &pts);
         write_and_print(&t, &format!("multiload_{}", profile.name()));
@@ -166,6 +191,7 @@ fn main() {
             part_trials,
             seed,
             threads,
+            ModelFamily::AlphaPower,
         );
         let t = multiload_policy_table(profile.name(), mlp_p, &pts);
         write_and_print(&t, &format!("multiload_policy_{}", profile.name()));
@@ -196,6 +222,7 @@ fn main() {
                 DEFAULT_UTILIZATION,
                 &svc_cells,
                 seed,
+                ModelFamily::AlphaPower,
             );
             let t = service_table(profile.name(), svc_p, svc_loads, DEFAULT_UTILIZATION, &pts);
             write_and_print(&t, &format!("multiload_service_{}", profile.name()));

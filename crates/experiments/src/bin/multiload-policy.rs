@@ -1,7 +1,7 @@
 //! Admission-policy sweep: `cargo run --release -p dlt-experiments
 //! --bin multiload-policy -- [homogeneous|uniform|lognormal|all] [--p P]
 //! [--trials T] [--n BASE_SIZE] [--installments K]... [--seed S]
-//! [--threads W]`.
+//! [--threads W] [--model FAMILY]`.
 //!
 //! For each profile, sweeps load count × nonlinearity exponent × admission
 //! order (FIFO, SRPT, weighted stretch) × installment granularity with the
@@ -11,6 +11,7 @@
 //! sweep several granularities; results are byte-identical for every
 //! `--threads` value.
 
+use dlt_experiments::models::model_family;
 use dlt_experiments::multiload::{
     multiload_policy_table, run_multiload_policy, DEFAULT_ALPHAS, DEFAULT_BASE_SIZE,
     DEFAULT_INSTALLMENTS, DEFAULT_LOAD_COUNTS, DEFAULT_P,
@@ -30,6 +31,7 @@ fn main() {
     let base_size: f64 = flag_or(&flags, "n", DEFAULT_BASE_SIZE);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let threads = thread_count(&flags);
+    let family = model_family(&flags);
     let installments: Vec<usize> = flags
         .get("installments")
         .map(|vs| {
@@ -64,8 +66,12 @@ fn main() {
             trials,
             seed,
             threads,
+            family,
         );
         let table = multiload_policy_table(name, p, &points);
-        write_and_print(&table, &format!("multiload_policy_{name}"));
+        write_and_print(
+            &table,
+            &format!("multiload_policy_{name}{}", family.suffix()),
+        );
     }
 }

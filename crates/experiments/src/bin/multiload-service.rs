@@ -2,7 +2,9 @@
 //! dlt-experiments --bin multiload-service --
 //! [homogeneous|uniform|lognormal|all] [--smoke] [--loads N] [--p P]
 //! [--n BASE_SIZE] [--utilization U] [--seed S] [--trace FILE]
-//! [--assert-peak-pending N]`.
+//! [--assert-peak-pending N] [--model FAMILY]`. `--model` applies to
+//! generated traces only (a `--trace` file fixes each line's law via its
+//! alpha column); non-default families write suffixed CSVs.
 //!
 //! Streams a Poisson arrival trace (default 10⁶ loads; `--trace FILE`
 //! replays `size,alpha,release` lines instead) through the
@@ -15,6 +17,7 @@
 //! --assert-peak-pending N`, which fails the run if any cell's
 //! pending-set high-water mark exceeds `N` (the steady-memory gate).
 
+use dlt_experiments::models::model_family;
 use dlt_experiments::multiload::{DEFAULT_ALPHAS, DEFAULT_BASE_SIZE};
 use dlt_experiments::runner::{flag_or, flags, parse_flags, write_and_print};
 use dlt_experiments::service::{
@@ -41,6 +44,7 @@ fn main() {
     let utilization: f64 = flag_or(&flags, "utilization", DEFAULT_UTILIZATION);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let peak_cap: usize = flag_or(&flags, "assert-peak-pending", usize::MAX);
+    let family = model_family(&flags);
     let trace_file = flags
         .get("trace")
         .and_then(|v| v.first())
@@ -87,6 +91,7 @@ fn main() {
                 utilization,
                 &cells,
                 seed,
+                family,
             ),
         };
         for pt in &points {
@@ -107,7 +112,10 @@ fn main() {
             }
         }
         let table = service_table(name, p, loads, utilization, &points);
-        write_and_print(&table, &format!("multiload_service_{name}"));
+        write_and_print(
+            &table,
+            &format!("multiload_service_{name}{}", family.suffix()),
+        );
     }
     if peak_violation {
         std::process::exit(1);

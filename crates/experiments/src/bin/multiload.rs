@@ -1,6 +1,7 @@
 //! Multi-load scheduling sweep: `cargo run --release -p dlt-experiments
 //! --bin multiload -- [homogeneous|uniform|lognormal|all] [--p P]
-//! [--trials T] [--n BASE_SIZE] [--chunks C] [--seed S] [--threads W]`.
+//! [--trials T] [--n BASE_SIZE] [--chunks C] [--seed S] [--threads W]
+//! [--model FAMILY]`.
 //!
 //! For each profile, sweeps load count × nonlinearity exponent with both
 //! the FIFO/installment scheduler and the round-robin interleaved
@@ -8,6 +9,7 @@
 //! `results/multiload_<profile>.csv`. Results are byte-identical for
 //! every `--threads` value.
 
+use dlt_experiments::models::model_family;
 use dlt_experiments::multiload::{
     multiload_table, run_multiload, DEFAULT_ALPHAS, DEFAULT_BASE_SIZE, DEFAULT_CHUNKS,
     DEFAULT_LOAD_COUNTS, DEFAULT_P,
@@ -28,6 +30,7 @@ fn main() {
     let chunks: usize = flag_or(&flags, "chunks", DEFAULT_CHUNKS);
     let seed: u64 = flag_or(&flags, "seed", 42);
     let threads = thread_count(&flags);
+    let family = model_family(&flags);
 
     let profiles: Vec<SpeedDistribution> = if profile_arg == "all" {
         SpeedDistribution::paper_profiles().to_vec()
@@ -51,8 +54,9 @@ fn main() {
             trials,
             seed,
             threads,
+            family,
         );
         let table = multiload_table(name, p, &points);
-        write_and_print(&table, &format!("multiload_{name}"));
+        write_and_print(&table, &format!("multiload_{name}{}", family.suffix()));
     }
 }

@@ -29,6 +29,7 @@
 //! they mean future knowledge *hurt* the heuristic on that draw.
 
 use crate::generators::{degradation_trace, regime_loads, Regime};
+use crate::models::ModelFamily;
 use crate::service::calibrated_spacing;
 use dlt_multiload::{
     online_schedule_with_failures, policy_schedule_with_failures, replay_ledger,
@@ -183,6 +184,7 @@ pub fn run_competitive(
                 COMPETITIVE_BASE_SIZE,
                 &COMPETITIVE_ALPHAS,
                 COMPETITIVE_UTILIZATION,
+                ModelFamily::AlphaPower,
             );
             let horizon = spacing * n_loads as f64;
             let mut row = Vec::with_capacity(cells.len() * configs.len());
@@ -362,7 +364,13 @@ pub fn run_soak(n_loads: usize, p: usize, seed: u64) -> Result<SoakSummary, Stri
     let platform: Platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
         .generate_stream(seed, 0)
         .expect("valid spec");
-    let spacing = calibrated_spacing(&platform, COMPETITIVE_BASE_SIZE, &COMPETITIVE_ALPHAS, 0.8);
+    let spacing = calibrated_spacing(
+        &platform,
+        COMPETITIVE_BASE_SIZE,
+        &COMPETITIVE_ALPHAS,
+        0.8,
+        ModelFamily::AlphaPower,
+    );
     let loads = regime_loads(
         Regime::MmppBurst,
         n_loads,

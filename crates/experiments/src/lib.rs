@@ -9,6 +9,7 @@
 //! | paper artifact | runner | binary |
 //! |----------------|--------|--------|
 //! | §2 no-free-lunch analysis | [`sec2::run_sec2`] | `sec2-no-free-lunch` |
+//! | §2 Amdahl-law relief (extension, arXiv:1902.01952) | [`sec_amdahl::run_sec_amdahl`] | `sec-amdahl` |
 //! | §3.1 sample sort | [`sec3::run_sample_sort`] | `sec3-sample-sort` |
 //! | §3.2 heterogeneous sort | [`sec3::run_hetero_sort`] | `sec3-hetero-sort` |
 //! | Figure 1 trace | [`traces::fig1_sample_sort_trace`] | `fig1-trace` |
@@ -30,12 +31,14 @@ pub mod competitive;
 pub mod fig4;
 pub mod footprint;
 pub mod generators;
+pub mod models;
 pub mod multiload;
 pub mod partition_quality;
 pub mod rho;
 pub mod runner;
 pub mod sec2;
 pub mod sec3;
+pub mod sec_amdahl;
 pub mod service;
 pub mod traces;
 

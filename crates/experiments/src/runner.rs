@@ -45,13 +45,21 @@ pub mod flags {
     /// `fig4`
     pub const FIG4: &[&str] = &["", "trials", "n", "seed", "threads"];
     /// `multiload`
-    pub const MULTILOAD: &[&str] = &["", "p", "trials", "n", "chunks", "seed", "threads"];
+    pub const MULTILOAD: &[&str] = &["", "p", "trials", "n", "chunks", "seed", "threads", "model"];
     /// `multiload-competitive`
     pub const MULTILOAD_COMPETITIVE: &[&str] =
         &["", "smoke", "p", "trials", "n", "seed", "threads", "soak"];
     /// `multiload-policy`
-    pub const MULTILOAD_POLICY: &[&str] =
-        &["", "p", "trials", "n", "installments", "seed", "threads"];
+    pub const MULTILOAD_POLICY: &[&str] = &[
+        "",
+        "p",
+        "trials",
+        "n",
+        "installments",
+        "seed",
+        "threads",
+        "model",
+    ];
     /// `multiload-service`
     pub const MULTILOAD_SERVICE: &[&str] = &[
         "",
@@ -63,13 +71,16 @@ pub mod flags {
         "seed",
         "trace",
         "assert-peak-pending",
+        "model",
     ];
     /// `partition-quality`
     pub const PARTITION_QUALITY: &[&str] = &["trials", "seed", "threads"];
     /// `rho-table`
     pub const RHO_TABLE: &[&str] = &["p", "n", "threads"];
+    /// `sec-amdahl`
+    pub const SEC_AMDAHL: &[&str] = &["n", "seed", "threads"];
     /// `sec2-no-free-lunch`
-    pub const SEC2: &[&str] = &["n", "seed"];
+    pub const SEC2: &[&str] = &["n", "seed", "model"];
     /// `sec3-hetero-sort`
     pub const SEC3_HETERO_SORT: &[&str] = &["trials", "n", "seed"];
     /// `sec3-sample-sort`
@@ -342,7 +353,18 @@ mod tests {
                     "1",
                 ],
             ),
-            (flags::MULTILOAD, &["uniform", "--p", "4", "--chunks", "8"]),
+            (
+                flags::MULTILOAD,
+                &[
+                    "uniform",
+                    "--p",
+                    "4",
+                    "--chunks",
+                    "8",
+                    "--model",
+                    "amdahl:0.3",
+                ],
+            ),
             (
                 flags::MULTILOAD_COMPETITIVE,
                 &[
@@ -351,7 +373,15 @@ mod tests {
             ),
             (
                 flags::MULTILOAD_POLICY,
-                &["uniform", "--installments", "1", "--installments", "4"],
+                &[
+                    "uniform",
+                    "--installments",
+                    "1",
+                    "--installments",
+                    "4",
+                    "--model",
+                    "affine:0.05",
+                ],
             ),
             (
                 flags::MULTILOAD_SERVICE,
@@ -362,6 +392,8 @@ mod tests {
                     "100",
                     "--assert-peak-pending",
                     "4096",
+                    "--model",
+                    "piecewise:50:3",
                 ],
             ),
             (
@@ -369,7 +401,14 @@ mod tests {
                 &["--trials", "2", "--seed", "1", "--threads", "1"],
             ),
             (flags::RHO_TABLE, &["--p", "8", "--n", "64"]),
-            (flags::SEC2, &["--n", "64.0", "--seed", "1"]),
+            (
+                flags::SEC2,
+                &["--n", "64.0", "--seed", "1", "--model", "alpha"],
+            ),
+            (
+                flags::SEC_AMDAHL,
+                &["--n", "64.0", "--seed", "1", "--threads", "2"],
+            ),
             (flags::SEC3_HETERO_SORT, &["--trials", "1", "--n", "1024"]),
             (flags::SEC3_SAMPLE_SORT, &["--trials", "1", "--seed", "1"]),
         ];

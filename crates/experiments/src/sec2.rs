@@ -1,6 +1,8 @@
 //! Section 2: the no-free-lunch analysis — fraction of work remaining
 //! after one optimal DLT round of an `x^α` workload.
 
+use crate::models::ModelFamily;
+use dlt_core::costmodel::CostModel;
 use dlt_core::{analysis, nonlinear};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
 use dlt_stats::Table;
@@ -14,7 +16,12 @@ pub const PAPER_ALPHAS: [f64; 4] = [1.0, 1.5, 2.0, 3.0];
 /// agree), and the fraction on a random uniform platform of equal total
 /// speed (heterogeneity barely moves it — the paper's point that solving
 /// the hard allocation problem "has in practice no influence").
-pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64) -> Table {
+///
+/// Non-default `family` values rerun the analysis under another cost
+/// law; the closed-form column generalizes to
+/// `1 − P·work(N/P)/work(N)` (equal split on identical workers), which
+/// reduces to `1 − 1/P^{α−1}` for the α-power law.
+pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64, family: ModelFamily) -> Table {
     let mut t = Table::new(&[
         "P",
         "alpha",
@@ -36,11 +43,16 @@ pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64) -> Table {
         let mut warm_hom = nonlinear::WarmStart::new();
         let mut warm_uni = nonlinear::WarmStart::new();
         for &alpha in alphas {
-            let closed = analysis::remaining_fraction_homogeneous(p, alpha);
+            let law = family.law(alpha);
+            let closed = if family.is_default() {
+                analysis::remaining_fraction_homogeneous(p, alpha)
+            } else {
+                1.0 - p as f64 * law.work(n / p as f64) / law.work(n)
+            };
             let hom = nonlinear::equal_finish_parallel_with(
                 &hom_platform,
                 n,
-                alpha,
+                law,
                 &config,
                 &mut warm_hom,
             )
@@ -48,7 +60,7 @@ pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64) -> Table {
             let uni = nonlinear::equal_finish_parallel_with(
                 &uni_platform,
                 n,
-                alpha,
+                law,
                 &config,
                 &mut warm_uni,
             )
@@ -72,7 +84,7 @@ mod tests {
 
     #[test]
     fn solver_reproduces_closed_form() {
-        let t = run_sec2(&[4, 64], &[1.0, 2.0], 512.0, 1);
+        let t = run_sec2(&[4, 64], &[1.0, 2.0], 512.0, 1, ModelFamily::AlphaPower);
         let closed = t.column("remaining_closed_form").unwrap();
         let solver = t.column("remaining_solver_hom").unwrap();
         for (c, s) in closed.iter().zip(&solver) {
@@ -82,7 +94,7 @@ mod tests {
 
     #[test]
     fn remaining_fraction_tends_to_one() {
-        let t = run_sec2(&[2, 16, 256], &[2.0], 512.0, 1);
+        let t = run_sec2(&[2, 16, 256], &[2.0], 512.0, 1, ModelFamily::AlphaPower);
         let vals = t.column("remaining_closed_form").unwrap();
         assert!(vals[0] < vals[1] && vals[1] < vals[2]);
         assert!(vals[2] > 0.99);
@@ -92,14 +104,14 @@ mod tests {
     fn heterogeneity_does_not_change_the_story() {
         // Even with uniform random speeds, the remaining fraction at
         // P = 64, α = 2 stays close to 1 − 1/64.
-        let t = run_sec2(&[64], &[2.0], 1024.0, 3);
+        let t = run_sec2(&[64], &[2.0], 1024.0, 3, ModelFamily::AlphaPower);
         let uni = t.column("remaining_solver_uniform").unwrap()[0];
         assert!(uni > 0.9, "uniform-platform remaining fraction {uni}");
     }
 
     #[test]
     fn linear_row_is_zero() {
-        let t = run_sec2(&[8], &[1.0], 128.0, 1);
+        let t = run_sec2(&[8], &[1.0], 128.0, 1, ModelFamily::AlphaPower);
         assert!(t.column("remaining_closed_form").unwrap()[0].abs() < 1e-12);
         assert!(t.column("remaining_solver_hom").unwrap()[0].abs() < 1e-6);
     }

@@ -19,6 +19,7 @@
 //! columns (decisions, solves, makespan, stretch, peak pending) remain
 //! byte-identical for a given seed.
 
+use crate::models::ModelFamily;
 use dlt_multiload::{
     serve_trace, AdmissionOrder, DiscardCompletions, InstallmentPolicy, LoadSpec, ServiceConfig,
     ServiceReport,
@@ -128,13 +129,14 @@ pub fn calibrated_spacing(
     base_size: f64,
     alphas: &[f64],
     utilization: f64,
+    family: ModelFamily,
 ) -> f64 {
     assert!(utilization > 0.0, "utilization must be positive");
     let probe_size = base_size * MEAN_SIZE_FACTOR;
     let mean_alone: f64 = alphas
         .iter()
         .map(|&alpha| {
-            LoadSpec::immediate(probe_size, alpha)
+            LoadSpec::with_model(probe_size, family.law(alpha), 0.0)
                 .expect("valid probe load")
                 .alone_makespan(platform)
                 .expect("single-load solver converges")
@@ -155,6 +157,7 @@ pub fn arrival_trace(
     alphas: Vec<f64>,
     spacing: f64,
     seed: u64,
+    family: ModelFamily,
 ) -> impl Iterator<Item = LoadSpec> {
     assert!(!alphas.is_empty(), "alpha list must be non-empty");
     let mut rng = seeded_stream(seed ^ TRACE_SEED_SALT, 0);
@@ -170,7 +173,7 @@ pub fn arrival_trace(
         // Inverse-CDF exponential gap; 1 − u > 0 because u ∈ [0, 1).
         let u: f64 = rng.gen_range(0.0..1.0);
         release += -(1.0 - u).ln() * spacing;
-        Some(LoadSpec::new(size, alpha, release).expect("valid generated load"))
+        Some(LoadSpec::with_model(size, family.law(alpha), release).expect("valid generated load"))
     })
 }
 
@@ -260,15 +263,16 @@ pub fn run_service(
     utilization: f64,
     cells: &[ServiceCell],
     seed: u64,
+    family: ModelFamily,
 ) -> Vec<ServicePoint> {
     let platform = PlatformSpec::new(p, profile.clone())
         .generate_stream(seed, 0)
         .expect("valid spec");
-    let spacing = calibrated_spacing(&platform, base_size, alphas, utilization);
+    let spacing = calibrated_spacing(&platform, base_size, alphas, utilization, family);
     cells
         .iter()
         .map(|&cell| {
-            let trace = arrival_trace(loads, base_size, alphas.to_vec(), spacing, seed);
+            let trace = arrival_trace(loads, base_size, alphas.to_vec(), spacing, seed, family);
             run_service_cell(&platform, trace, cell)
         })
         .collect()
@@ -334,8 +338,10 @@ mod tests {
 
     #[test]
     fn arrival_trace_is_deterministic_sorted_and_lazy() {
-        let a: Vec<LoadSpec> = arrival_trace(64, 100.0, vec![1.0, 2.0], 3.0, 7).collect();
-        let b: Vec<LoadSpec> = arrival_trace(64, 100.0, vec![1.0, 2.0], 3.0, 7).collect();
+        let a: Vec<LoadSpec> =
+            arrival_trace(64, 100.0, vec![1.0, 2.0], 3.0, 7, ModelFamily::AlphaPower).collect();
+        let b: Vec<LoadSpec> =
+            arrival_trace(64, 100.0, vec![1.0, 2.0], 3.0, 7, ModelFamily::AlphaPower).collect();
         assert_eq!(a, b, "same seed must replay the same trace");
         assert_eq!(a.len(), 64);
         for w in a.windows(2) {
@@ -343,7 +349,7 @@ mod tests {
         }
         for spec in &a {
             assert!(spec.size >= 25.0 && spec.size < 100.0);
-            assert!(spec.alpha == 1.0 || spec.alpha == 2.0);
+            assert!(spec.alpha() == 1.0 || spec.alpha() == 2.0);
         }
         // Mean gap tracks the requested spacing (law of large numbers at
         // a loose tolerance).
@@ -354,8 +360,8 @@ mod tests {
     #[test]
     fn calibrated_spacing_scales_inversely_with_utilization() {
         let platform = Platform::from_speeds(&[1.0, 2.0, 3.0, 4.0]).unwrap();
-        let half = calibrated_spacing(&platform, 100.0, &[1.0, 2.0], 0.5);
-        let full = calibrated_spacing(&platform, 100.0, &[1.0, 2.0], 1.0);
+        let half = calibrated_spacing(&platform, 100.0, &[1.0, 2.0], 0.5, ModelFamily::AlphaPower);
+        let full = calibrated_spacing(&platform, 100.0, &[1.0, 2.0], 1.0, ModelFamily::AlphaPower);
         assert!((half - 2.0 * full).abs() < 1e-9 * half);
         assert!(full > 0.0);
     }
@@ -372,6 +378,7 @@ mod tests {
             0.7,
             &cells,
             1,
+            ModelFamily::AlphaPower,
         );
         assert_eq!(pts.len(), cells.len());
         for pt in &pts {
@@ -406,6 +413,7 @@ mod tests {
                 0.8,
                 &cells,
                 3,
+                ModelFamily::AlphaPower,
             )
         };
         let a = run(());
@@ -417,11 +425,23 @@ mod tests {
     #[test]
     fn file_trace_round_trips_a_generated_trace() {
         let spacing = 2.5;
-        let generated: Vec<LoadSpec> =
-            arrival_trace(32, 80.0, vec![1.0, 1.5], spacing, 9).collect();
+        let generated: Vec<LoadSpec> = arrival_trace(
+            32,
+            80.0,
+            vec![1.0, 1.5],
+            spacing,
+            9,
+            ModelFamily::AlphaPower,
+        )
+        .collect();
         let mut text = String::from("# size,alpha,release\n\n");
         for spec in &generated {
-            text.push_str(&format!("{},{},{}\n", spec.size, spec.alpha, spec.release));
+            text.push_str(&format!(
+                "{},{},{}\n",
+                spec.size,
+                spec.alpha(),
+                spec.release
+            ));
         }
         let path = std::env::temp_dir().join(format!("dlt-trace-{}.csv", std::process::id()));
         std::fs::write(&path, text).unwrap();

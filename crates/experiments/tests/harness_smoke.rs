@@ -2,6 +2,7 @@
 //! produce a well-formed table whose key invariants hold even at tiny
 //! trial counts (the full-scale numbers live in EXPERIMENTS.md).
 
+use dlt_experiments::models::ModelFamily;
 use dlt_experiments::{
     affinity, fig4, footprint, multiload, partition_quality, rho, sec2, sec3, service, traces,
 };
@@ -26,7 +27,7 @@ fn fig4_runner_covers_every_point() {
 
 #[test]
 fn sec2_table_is_consistent() {
-    let t = sec2::run_sec2(&[2, 32], &[1.0, 2.0], 256.0, 1);
+    let t = sec2::run_sec2(&[2, 32], &[1.0, 2.0], 256.0, 1, ModelFamily::AlphaPower);
     assert_eq!(t.n_rows(), 4);
     let closed = t.column("remaining_closed_form").unwrap();
     let hom = t.column("remaining_solver_hom").unwrap();
@@ -101,6 +102,7 @@ fn multiload_runner_covers_every_point() {
         2,
         1,
         2,
+        ModelFamily::AlphaPower,
     );
     // (loads × alphas) × two schedulers.
     assert_eq!(pts.len(), 2 * 2 * 2);
@@ -117,7 +119,18 @@ fn multiload_n1_reproduces_single_load_rows_bitwise() {
     // `equal_finish_parallel` and compare the summarized cells exactly.
     let profile = SpeedDistribution::paper_lognormal();
     let (p, trials, seed, base, alpha) = (5usize, 4usize, 21u64, 500.0, 1.5);
-    let pts = multiload::run_multiload(&profile, p, &[1], &[alpha], base, 8, trials, seed, 2);
+    let pts = multiload::run_multiload(
+        &profile,
+        p,
+        &[1],
+        &[alpha],
+        base,
+        8,
+        trials,
+        seed,
+        2,
+        ModelFamily::AlphaPower,
+    );
     let fifo = pts
         .iter()
         .find(|pt| pt.scheduler == SchedulerKind::Fifo)
@@ -148,6 +161,7 @@ fn multiload_policy_runner_exercises_every_admission_order() {
         2,
         1,
         2,
+        ModelFamily::AlphaPower,
     );
     // loads × alphas × installments × every AdmissionOrder variant.
     assert_eq!(pts.len(), 2 * 2 * 2 * AdmissionOrder::ALL.len());
@@ -180,14 +194,32 @@ fn service_runner_oracle_cell_matches_online_schedule() {
         batch: 1,
         installments: InstallmentPolicy::Fixed(1),
     }];
-    let pts = service::run_service(&profile, p, loads, base, &[1.0, 1.5], 0.8, &cells, seed);
+    let pts = service::run_service(
+        &profile,
+        p,
+        loads,
+        base,
+        &[1.0, 1.5],
+        0.8,
+        &cells,
+        seed,
+        ModelFamily::AlphaPower,
+    );
 
     let platform = PlatformSpec::new(p, profile)
         .generate_stream(seed, 0)
         .unwrap();
-    let spacing = service::calibrated_spacing(&platform, base, &[1.0, 1.5], 0.8);
-    let trace: Vec<_> =
-        service::arrival_trace(loads, base, vec![1.0, 1.5], spacing, seed).collect();
+    let spacing =
+        service::calibrated_spacing(&platform, base, &[1.0, 1.5], 0.8, ModelFamily::AlphaPower);
+    let trace: Vec<_> = service::arrival_trace(
+        loads,
+        base,
+        vec![1.0, 1.5],
+        spacing,
+        seed,
+        ModelFamily::AlphaPower,
+    )
+    .collect();
     let cfg = PolicyConfig {
         order: AdmissionOrder::Srpt,
         installments: 1,

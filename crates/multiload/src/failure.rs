@@ -452,7 +452,7 @@ pub fn realized_alone_makespans(
         for e in log.iter().filter(|e| e.load == j) {
             if e.data > 0.0 {
                 alone[j] += nonlinear::equal_finish_parallel_with(
-                    platform, e.data, load.alpha, &config, &mut warm,
+                    platform, e.data, load.model, &config, &mut warm,
                 )?
                 .makespan;
             }

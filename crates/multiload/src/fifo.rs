@@ -78,7 +78,7 @@ pub fn fifo_schedule(
     for &j in &order {
         let load = loads[j];
         let alloc = nonlinear::equal_finish_parallel_with(
-            platform, load.size, load.alpha, &config, &mut warm,
+            platform, load.size, load.model, &config, &mut warm,
         )?;
         let start = load.release.max(platform_free);
         let finish = start + alloc.makespan;

@@ -40,8 +40,9 @@
 //! ingests a *streamed* arrival trace — millions of loads — at steady
 //! memory, with an indexed pending set ([`event_queue::PendingSet`]:
 //! `O(log n)` heap selection for static-key orders, lazy re-keying for
-//! weighted stretch), windowed admission that merges same-α winners into
-//! one warm-started solve, and adaptive installment counts. At its
+//! weighted stretch), windowed admission that merges same-cost-law winners
+//! (grouped by [`dlt_core::costmodel::CostLaw::bits_eq`]) into one
+//! warm-started solve, and adaptive installment counts. At its
 //! defaults (window 1, fixed installments) it reproduces
 //! [`policy::online_schedule`] bit for bit; its own linear-rescan twin
 //! ([`service::serve_trace_reference`]) gates the batched/adaptive modes.

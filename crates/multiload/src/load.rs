@@ -1,41 +1,50 @@
 //! The multi-load problem instance: a batch of [`LoadSpec`]s.
 
 use crate::error::MultiLoadError;
+use dlt_core::costmodel::{CostLaw, CostModel};
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
 
 /// One divisible load of a multi-load batch.
 ///
 /// Processing `x` data units of this load on worker `i` costs
-/// `w_i · x^alpha` time (the α-power model of [`dlt_core::nonlinear`];
-/// `alpha = 1` is the classical linear load). The load becomes available
-/// for distribution at `release`.
+/// `model.cost(c_i, w_i, x)` time — by default the α-power model of
+/// [`dlt_core::nonlinear`] (`w_i · x^alpha`; `alpha = 1` is the classical
+/// linear load), but any [`CostLaw`] fits. The load becomes available for
+/// distribution at `release`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSpec {
     /// Total data units `N_j` of this load.
     pub size: f64,
-    /// Nonlinearity exponent `α_j ≥ 1`.
-    pub alpha: f64,
+    /// Per-worker cost law of this load ([`CostLaw::AlphaPower`] with
+    /// `α_j ≥ 1` for the paper's workloads).
+    pub model: CostLaw,
     /// Release time `r_j ≥ 0`: no byte of this load may be distributed or
     /// processed before this instant.
     pub release: f64,
 }
 
 impl LoadSpec {
-    /// Validated constructor.
+    /// Validated constructor for the common α-power load.
     pub fn new(size: f64, alpha: f64, release: f64) -> Result<Self, MultiLoadError> {
-        if !(size.is_finite() && size > 0.0) {
-            return Err(MultiLoadError::InvalidSize { value: size });
-        }
         if !(alpha.is_finite() && alpha >= 1.0) {
             return Err(MultiLoadError::InvalidAlpha { value: alpha });
         }
+        Self::with_model(size, CostLaw::alpha_power(alpha), release)
+    }
+
+    /// Validated constructor for an arbitrary cost law.
+    pub fn with_model(size: f64, model: CostLaw, release: f64) -> Result<Self, MultiLoadError> {
+        if !(size.is_finite() && size > 0.0) {
+            return Err(MultiLoadError::InvalidSize { value: size });
+        }
+        model.validate()?;
         if !(release.is_finite() && release >= 0.0) {
             return Err(MultiLoadError::InvalidRelease { value: release });
         }
         Ok(Self {
             size,
-            alpha,
+            model,
             release,
         })
     }
@@ -45,9 +54,15 @@ impl LoadSpec {
         Self::new(size, alpha, 0.0)
     }
 
-    /// Total work `N_j^{α_j}` this load represents.
+    /// The primary exponent `α_j` of this load's cost law.
+    pub fn alpha(&self) -> f64 {
+        self.model.alpha()
+    }
+
+    /// Total work this load represents (`N_j^{α_j}` under the α-power
+    /// law).
     pub fn total_work(&self) -> f64 {
-        self.size.powf(self.alpha)
+        self.model.work(self.size)
     }
 
     /// Makespan of this load **alone** on `platform`, released immediately:
@@ -56,7 +71,7 @@ impl LoadSpec {
     /// stretch metric — how much a schedule dilates a load relative to
     /// having the platform to itself.
     pub fn alone_makespan(&self, platform: &Platform) -> Result<f64, MultiLoadError> {
-        Ok(nonlinear::equal_finish_parallel(platform, self.size, self.alpha)?.makespan)
+        Ok(nonlinear::equal_finish_parallel(platform, self.size, self.model)?.makespan)
     }
 
     /// [`alone_makespan`](Self::alone_makespan) with explicit solver
@@ -69,7 +84,7 @@ impl LoadSpec {
         warm: &mut nonlinear::WarmStart,
     ) -> Result<f64, MultiLoadError> {
         Ok(
-            nonlinear::equal_finish_parallel_with(platform, self.size, self.alpha, config, warm)?
+            nonlinear::equal_finish_parallel_with(platform, self.size, self.model, config, warm)?
                 .makespan,
         )
     }
@@ -97,7 +112,7 @@ pub(crate) fn validate_batch(loads: &[LoadSpec]) -> Result<(), MultiLoadError> {
     }
     for l in loads {
         // Re-run the constructor checks: specs can be built literally.
-        LoadSpec::new(l.size, l.alpha, l.release)?;
+        LoadSpec::with_model(l.size, l.model, l.release)?;
     }
     Ok(())
 }
@@ -105,6 +120,7 @@ pub(crate) fn validate_batch(loads: &[LoadSpec]) -> Result<(), MultiLoadError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlt_core::costmodel::AmdahlSerial;
 
     #[test]
     fn constructor_validates() {
@@ -122,6 +138,25 @@ mod tests {
             Err(MultiLoadError::InvalidRelease { .. })
         ));
         assert!(LoadSpec::new(f64::NAN, 2.0, 0.0).is_err());
+        // Arbitrary cost laws validate through the model itself.
+        assert!(LoadSpec::with_model(
+            1.0,
+            CostLaw::AmdahlSerial {
+                serial: 0.3,
+                alpha: 2.0
+            },
+            0.0
+        )
+        .is_ok());
+        assert!(LoadSpec::with_model(
+            1.0,
+            CostLaw::AmdahlSerial {
+                serial: 1.5,
+                alpha: 2.0
+            },
+            0.0
+        )
+        .is_err());
     }
 
     #[test]
@@ -139,6 +174,7 @@ mod tests {
     fn total_work_is_power_law() {
         let l = LoadSpec::immediate(10.0, 2.0).unwrap();
         assert_eq!(l.total_work(), 100.0);
+        assert_eq!(l.alpha(), 2.0);
         let lin = LoadSpec::immediate(10.0, 1.0).unwrap();
         assert_eq!(lin.total_work(), 10.0);
     }
@@ -154,6 +190,21 @@ mod tests {
     }
 
     #[test]
+    fn amdahl_load_routes_model_into_solver() {
+        let platform = Platform::from_speeds(&[1.0, 2.0]).unwrap();
+        let model = AmdahlSerial {
+            serial: 0.4,
+            alpha: 2.0,
+        };
+        let l = LoadSpec::with_model(20.0, model.as_law(), 0.0).unwrap();
+        let direct = nonlinear::equal_finish_parallel(&platform, 20.0, model)
+            .unwrap()
+            .makespan;
+        assert_eq!(l.alone_makespan(&platform).unwrap(), direct);
+        assert_eq!(l.total_work(), model.work(20.0));
+    }
+
+    #[test]
     fn batch_validation() {
         assert!(matches!(
             validate_batch(&[]),
@@ -161,7 +212,7 @@ mod tests {
         ));
         let bad = LoadSpec {
             size: -1.0,
-            alpha: 2.0,
+            model: CostLaw::alpha_power(2.0),
             release: 0.0,
         };
         assert!(validate_batch(&[bad]).is_err());

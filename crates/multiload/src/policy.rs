@@ -63,6 +63,7 @@ use crate::error::MultiLoadError;
 use crate::failure::{FailureTrace, PlatformState};
 use crate::load::{validate_batch, LoadSpec};
 use crate::metrics::{LoadMetrics, MultiLoadReport, SchedulerKind};
+use dlt_core::costmodel::{CostLaw, CostModel};
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
 
@@ -209,13 +210,14 @@ pub(crate) fn next_installment(remaining: f64, left: usize) -> f64 {
     }
 }
 
-/// Remaining-work estimate of a load: `R^α / Σ s_i` time units if the
-/// whole platform's aggregate speed could be thrown at the remaining data.
-/// Crude on heterogeneous platforms, but monotone in `R` and cheap — and
-/// the *one* definition both engines share.
+/// Remaining-work estimate of a load: `work(R) / Σ s_i` time units
+/// (`R^α / Σ s_i` under the α-power law) if the whole platform's
+/// aggregate speed could be thrown at the remaining data. Crude on
+/// heterogeneous platforms, but monotone in `R` and cheap — and the
+/// *one* definition both engines share.
 #[inline]
-pub(crate) fn work_estimate(remaining: f64, alpha: f64, speed_sum: f64) -> f64 {
-    remaining.powf(alpha) / speed_sum
+pub(crate) fn work_estimate(remaining: f64, model: CostLaw, speed_sum: f64) -> f64 {
+    model.work(remaining) / speed_sum
 }
 
 /// Alone-on-the-platform makespan of **one** load at installment
@@ -236,7 +238,7 @@ pub(crate) fn alone_installment_makespan(
     let mut total = 0.0;
     for left in (1..=installments).rev() {
         let inst = next_installment(remaining, left);
-        total += nonlinear::equal_finish_parallel_with(platform, inst, load.alpha, config, warm)?
+        total += nonlinear::equal_finish_parallel_with(platform, inst, load.model, config, warm)?
             .makespan;
         remaining = if left == 1 { 0.0 } else { remaining - inst };
     }
@@ -583,7 +585,7 @@ pub(crate) fn engine_reference(
             if remaining[j] <= 0.0 || (online && load.release > now) {
                 continue;
             }
-            let est = work_estimate(remaining[j], load.alpha, speed_sum);
+            let est = work_estimate(remaining[j], load.model, speed_sum);
             let key = config.order.key(load.release, est, alone[j], now);
             let better = best.is_none_or(|(bk, _)| key.total_cmp(&bk).is_lt());
             if better {
@@ -611,7 +613,7 @@ pub(crate) fn engine_reference(
         let alloc = nonlinear::equal_finish_parallel_with(
             fstate.current(start)?.0,
             data,
-            loads[j].alpha,
+            loads[j].model,
             &solver,
             &mut warm,
         )?;
@@ -685,7 +687,7 @@ pub(crate) fn engine_fast(
     let mut inst_left = vec![config.installments; n];
     let mut est: Vec<f64> = loads
         .iter()
-        .map(|l| work_estimate(l.size, l.alpha, speed_sum))
+        .map(|l| work_estimate(l.size, l.model, speed_sum))
         .collect();
     // Arrival frontier: offline admits everything at once; online feeds
     // loads in release order as `now` passes them.
@@ -744,7 +746,7 @@ pub(crate) fn engine_fast(
         let alloc = nonlinear::equal_finish_parallel_with(
             fstate.current(start)?.0,
             data,
-            loads[j].alpha,
+            loads[j].model,
             &solver,
             &mut warm,
         )?;
@@ -769,7 +771,7 @@ pub(crate) fn engine_fast(
                 // The cut changed the remaining size without consuming an
                 // installment: refresh the cached estimate (still the
                 // healthy-platform normalization).
-                est[j] = work_estimate(remaining[j], loads[j].alpha, speed_sum);
+                est[j] = work_estimate(remaining[j], loads[j].model, speed_sum);
             }
             now = t;
             continue;
@@ -787,7 +789,7 @@ pub(crate) fn engine_fast(
             active.swap_remove(pos);
         } else {
             // Only the served load's estimate changed — one powf.
-            est[j] = work_estimate(remaining[j], loads[j].alpha, speed_sum);
+            est[j] = work_estimate(remaining[j], loads[j].model, speed_sum);
         }
         now = finish;
     }

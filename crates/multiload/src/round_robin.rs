@@ -27,6 +27,7 @@
 use crate::error::MultiLoadError;
 use crate::load::{release_order, validate_batch, LoadSpec};
 use crate::metrics::{LoadMetrics, MultiLoadReport, SchedulerKind};
+use dlt_core::costmodel::CostModel;
 use dlt_platform::Platform;
 use dlt_sim::{DemandConfig, DemandTask, OrdF64};
 use std::cmp::Reverse;
@@ -100,8 +101,9 @@ struct Chunk {
 /// (`size − (c−1)·(size/c)`), so the chunk sizes sum back to `size`
 /// exactly in real arithmetic instead of drifting by up to `c` rounding
 /// errors of the division. The per-load data/work pair is computed once
-/// per load here — not once per round — since `data.powf(alpha)` is the
-/// only transcendental in the queue build.
+/// per load here — not once per round — since the cost law's `work(data)`
+/// (`data.powf(alpha)` under the α-power model) is the only
+/// transcendental in the queue build.
 fn chunk_queue(loads: &[LoadSpec], chunks_per_load: usize) -> Vec<Chunk> {
     let order = release_order(loads);
     // Per-load chunk geometry, hoisted out of the round loop: (body chunk,
@@ -115,7 +117,7 @@ fn chunk_queue(loads: &[LoadSpec], chunks_per_load: usize) -> Vec<Chunk> {
             let chunk = |data: f64| Chunk {
                 load: j,
                 data,
-                work: data.powf(load.alpha),
+                work: load.model.work(data),
                 release: load.release,
             };
             (chunk(body), chunk(last))

@@ -51,6 +51,7 @@ use crate::event_queue::{PendingEntry, PendingSet};
 use crate::failure::{FailureTrace, PlatformState, ServedPiece};
 use crate::load::LoadSpec;
 use crate::policy::{alone_installment_makespan, next_installment, work_estimate, AdmissionOrder};
+use dlt_core::costmodel::CostLaw;
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
 use std::collections::HashMap;
@@ -319,7 +320,7 @@ impl Selector for RescanSelector {
         let mut best: Option<(f64, usize)> = None;
         for (pos, &id) in self.ids.iter().enumerate() {
             let st = &states[&id];
-            let est = work_estimate(st.remaining, st.spec.alpha, self.speed_sum);
+            let est = work_estimate(st.remaining, st.spec.model, self.speed_sum);
             let key = self.order.key(st.spec.release, est, st.alone, now);
             let better = best.is_none_or(|(bk, bpos)| match key.total_cmp(&bk) {
                 std::cmp::Ordering::Less => true,
@@ -563,7 +564,7 @@ where
             if lookahead.is_none() {
                 match arrivals.next() {
                     Some(spec) => {
-                        LoadSpec::new(spec.size, spec.alpha, spec.release)?;
+                        LoadSpec::with_model(spec.size, spec.model, spec.release)?;
                         if spec.release < last_release {
                             return Err(MultiLoadError::UnsortedArrivals { index: next_id });
                         }
@@ -582,7 +583,7 @@ where
             // Adaptive installments see the queue depth including the
             // load being admitted.
             let k = config.installments.pick(selector.len() + 1);
-            let est = work_estimate(spec.size, spec.alpha, speed_sum);
+            let est = work_estimate(spec.size, spec.model, speed_sum);
             let alone = if config.track_stretch {
                 report.alone_solves += k as u64;
                 alone_installment_makespan(platform, &spec, k, &solver, &mut warm_alone)?
@@ -632,19 +633,18 @@ where
                 .expect("selector length checked");
             window.push(id);
         }
-        // Merge same-α winners into one equal-finish solve each; groups
-        // keep first-appearance (i.e. priority) order and are served
-        // back to back.
-        let mut groups: Vec<(f64, Vec<(u64, f64)>)> = Vec::new();
+        // Merge same-cost-law winners into one equal-finish solve each;
+        // groups keep first-appearance (i.e. priority) order and are
+        // served back to back. Membership keys on the bit pattern of the
+        // law's parameters (the successor of the historical
+        // `alpha.to_bits()` key).
+        let mut groups: Vec<(CostLaw, Vec<(u64, f64)>)> = Vec::new();
         for &id in &window {
             let st = &states[&id];
             let data = next_installment(st.remaining, st.inst_left);
-            match groups
-                .iter_mut()
-                .find(|(a, _)| a.to_bits() == st.spec.alpha.to_bits())
-            {
+            match groups.iter_mut().find(|(m, _)| m.bits_eq(&st.spec.model)) {
                 Some((_, members)) => members.push((id, data)),
-                None => groups.push((st.spec.alpha, vec![(id, data)])),
+                None => groups.push((st.spec.model, vec![(id, data)])),
             }
         }
         for gi in 0..groups.len() {
@@ -667,7 +667,7 @@ where
                 }
                 break;
             }
-            let (alpha, members) = &groups[gi];
+            let (model, members) = &groups[gi];
             let single = members.len() == 1;
             let total: f64 = if single {
                 members[0].1
@@ -677,7 +677,7 @@ where
             let alloc = nonlinear::equal_finish_parallel_with(
                 fstate.current(now)?.0,
                 total,
-                *alpha,
+                *model,
                 &solver,
                 &mut warm,
             )?;
@@ -778,7 +778,7 @@ where
                     // Only the served load's estimate changed: one powf —
                     // still the healthy-platform normalization — then
                     // back into the pending set under its new key.
-                    st.est = work_estimate(st.remaining, st.spec.alpha, speed_sum);
+                    st.est = work_estimate(st.remaining, st.spec.model, speed_sum);
                     let entry = PendingEntry {
                         id,
                         release: st.spec.release,
@@ -1051,7 +1051,7 @@ mod tests {
     fn invalid_spec_in_stream_is_rejected() {
         let bad = LoadSpec {
             size: -3.0,
-            alpha: 2.0,
+            model: CostLaw::alpha_power(2.0),
             release: 0.0,
         };
         assert!(matches!(

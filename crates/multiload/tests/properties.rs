@@ -32,7 +32,7 @@ fn instance_all_released() -> impl Strategy<Value = (Platform, Vec<LoadSpec>)> {
     instance().prop_map(|(platform, loads)| {
         let loads = loads
             .into_iter()
-            .map(|l| LoadSpec::immediate(l.size, l.alpha).unwrap())
+            .map(|l| LoadSpec::immediate(l.size, l.alpha()).unwrap())
             .collect();
         (platform, loads)
     })
