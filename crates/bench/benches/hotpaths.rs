@@ -53,6 +53,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlt_bench::BENCH_SEED;
+use dlt_core::batch::{BatchSolver, SolveBackend};
 use dlt_core::costmodel::CostLaw;
 use dlt_core::nonlinear;
 use dlt_multiload::{
@@ -390,6 +391,43 @@ mod monomorphic {
     }
 }
 
+/// The shared-α sweep workload of the `solver_batched` group: `width`
+/// α-power laws solved on one platform for one load — exactly the
+/// per-platform inner loop of the sec2 / sec-amdahl sweeps.
+fn sweep_laws(width: usize) -> Vec<CostLaw> {
+    (0..width)
+        .map(|j| CostLaw::alpha_power(1.25 + 0.25 * j as f64))
+        .collect()
+}
+
+/// The sweep through the scalar path, one `WarmStart` chained across the
+/// laws — the historical sec2 pattern and the oracle baseline.
+fn sweep_scalar(platform: &Platform, n: f64, laws: &[CostLaw]) -> f64 {
+    let config = nonlinear::SolverConfig::default();
+    let mut warm = nonlinear::WarmStart::new();
+    let mut acc = 0.0;
+    for &law in laws {
+        acc += nonlinear::equal_finish_parallel_with(platform, n, law, &config, &mut warm)
+            .unwrap()
+            .makespan;
+    }
+    acc
+}
+
+/// The same sweep through the structure-of-arrays batched kernel: one
+/// platform scan, shared-exponent `exp/ln` lane passes, share seeds
+/// chained law to law.
+fn sweep_batched(platform: &Platform, n: f64, laws: &[CostLaw]) -> f64 {
+    let config = nonlinear::SolverConfig::default();
+    let mut solver = BatchSolver::new(SolveBackend::Batched);
+    solver
+        .solve_sweep(platform, n, laws, &config)
+        .unwrap()
+        .iter()
+        .map(|a| a.makespan)
+        .sum()
+}
+
 /// The FIFO-style sequence through the embedded pre-refactor monomorphic
 /// solver — the dispatch baseline of the `costmodel` group.
 fn costmodel_monomorphic(platform: &Platform, sizes: &[f64], alpha: f64) -> f64 {
@@ -461,6 +499,25 @@ fn bench_solver(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bisection_reference", &id), &p, |b, _| {
             b.iter(|| solver_reference(black_box(&platform), black_box(&sizes), black_box(1.5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_batched(c: &mut Criterion) {
+    if smoke_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("solver_batched");
+    let laws = sweep_laws(8);
+    for &p in &[64usize, 512] {
+        let (platform, _) = solver_instance(p, 8);
+        let id = format!("p{p}_sweep8");
+        group.bench_with_input(BenchmarkId::new("batched_sweep", &id), &p, |b, _| {
+            b.iter(|| sweep_batched(black_box(&platform), black_box(4096.0), black_box(&laws)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_sweep", &id), &p, |b, _| {
+            b.iter(|| sweep_scalar(black_box(&platform), black_box(4096.0), black_box(&laws)))
         });
     }
     group.finish();
@@ -710,6 +767,16 @@ fn emit_json(c: &mut Criterion) {
         costmodel_trait_dispatch(&sv_platform, &sv_sizes, black_box(1.5))
     });
 
+    // Lanes vs scalar on the shared-α sweep (the sec2/sec-amdahl inner
+    // loop) at p = 512 — the batched kernel's headline ratio.
+    let bt_laws = sweep_laws(8);
+    let bt_base = time_min_ns(reps(50), || {
+        sweep_scalar(&sv_platform, black_box(4096.0), &bt_laws)
+    });
+    let bt_opt = time_min_ns(reps(200), || {
+        sweep_batched(&sv_platform, black_box(4096.0), &bt_laws)
+    });
+
     let (ml_platform, ml_batch, ml_config, ml_alone) = multiload_instance(512, 64, 128);
     let ml_base = time_min_ns(reps(10), || {
         round_robin_schedule_reference_with_alone(&ml_platform, &ml_batch, &ml_config, &ml_alone)
@@ -769,7 +836,7 @@ fn emit_json(c: &mut Criterion) {
         )
     };
     let json = format!(
-        "[\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
+        "[\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n]\n",
         record(
             "simulate_demand",
             "p=512, tasks=10000, uniform profile",
@@ -837,6 +904,14 @@ fn emit_json(c: &mut Criterion) {
             cm_base,
             cm_opt,
         ),
+        record(
+            "solver_batched",
+            "p=512, shared-alpha sweep width 8, n=4096, uniform profile",
+            "scalar per-alpha Newton, one WarmStart across the sweep (equal_finish_parallel_with)",
+            "SoA batched kernel, shared-exponent exp/ln lanes (BatchSolver::solve_sweep)",
+            bt_base,
+            bt_opt,
+        ),
     );
     // Bench binaries run with CWD = crates/bench; default to the
     // workspace root so the trajectory file lands next to CHANGES.md.
@@ -853,7 +928,8 @@ fn emit_json(c: &mut Criterion) {
     eprintln!(
         "hotpaths: simulate_demand {:.1}x, peri_sum_dp {:.1}x, multiload_round_robin {:.1}x, \
          multiload_policy {:.1}x, multiload_failure {:.1}x, multiload_service {:.1}x \
-         ({:.0} decisions/sec), solver_equal_finish {:.1}x, costmodel_dispatch {:.2}x",
+         ({:.0} decisions/sec), solver_equal_finish {:.1}x, costmodel_dispatch {:.2}x, \
+         solver_batched {:.1}x",
         sim_base / sim_opt,
         dp_base / dp_opt,
         ml_base / ml_opt,
@@ -862,7 +938,8 @@ fn emit_json(c: &mut Criterion) {
         se_base / se_opt,
         se_decisions_per_sec,
         sv_base / sv_opt,
-        cm_base / cm_opt
+        cm_base / cm_opt,
+        bt_base / bt_opt
     );
 }
 
@@ -876,6 +953,7 @@ criterion_group!(
     bench_service,
     bench_solver,
     bench_costmodel,
+    bench_solver_batched,
     emit_json
 );
 criterion_main!(benches);

@@ -1,0 +1,611 @@
+//! Batched structure-of-arrays equal-finish solver.
+//!
+//! [`crate::nonlinear::equal_finish_parallel_with`] walks the platform
+//! worker by worker: each outer Newton iterate pays one closure call,
+//! one safeguarded inner Newton *and one `powf` per inner step* per
+//! worker, plus a fresh `Vec` per outer evaluation. Profiles of the
+//! multiload engines and the sec2/sec-amdahl sweeps are dominated by
+//! exactly that `powf` (ROADMAP's top remaining hot path).
+//!
+//! [`BatchSolver`] keeps the platform as structure-of-arrays lanes
+//! (contiguous `c[]`, `w[]` plus per-lane Newton state) and advances
+//! *all* inner inverses in lockstep: every inner iteration is one
+//! [`CostModel::residual_deriv_batch`] pass over the lane arrays, which
+//! the power-law models implement as a single shared-exponent
+//! `x^{α−1} = exp((α−1)·ln x)` sweep through the polynomial kernels of
+//! [`crate::fastmath`] (vectorized 8 lanes at a time behind the `simd`
+//! feature, scalar-unrolled otherwise). On top of the cheaper `powf`
+//! the solver reuses all scratch (no allocation per evaluation) and
+//! extends the warm-start idea from the outer root to the *shares*: the
+//! previous solve's lane roots seed the next solve's inner Newton, and
+//! within one solve each outer iterate starts its lanes from the
+//! previous iterate's roots instead of the closed-form bound.
+//!
+//! # Correctness contract
+//!
+//! * [`SolveBackend::Scalar`] **is** the scalar path — `solve` forwards
+//!   to `equal_finish_parallel_with` verbatim, so every result is
+//!   bit-identical to it and all committed experiment CSVs are
+//!   unaffected unless a caller opts in to the batched backend.
+//! * [`SolveBackend::Batched`] runs the same safeguarded two-level
+//!   Newton (same bracketing, same stopping rules, same outer
+//!   hunt/rescale) but with the fast power kernels and share seeding,
+//!   and is bounded against the scalar oracle: makespan and every share
+//!   agree to ≤ 1e-9 relative (the property suite in
+//!   `tests/batch_properties.rs` enforces a bound three orders of
+//!   magnitude tighter than the arithmetic typically produces).
+//! * Conservation is exact by construction: after the final rescale the
+//!   largest lane is re-assigned the remainder `n − Σ_{i≠k} xᵢ`
+//!   (left-to-right sum skipping `k`), so replaying that sum in the
+//!   batch's own arithmetic recovers `n` bitwise.
+//! * Share seeds are **hints only** (clamped into the lane's fresh
+//!   bracket before use) and are dropped whenever the platform's lane
+//!   arrays change bitwise — a worker failing out mid-trace shrinks the
+//!   degraded platform, and a stale-length seed must fall back to the
+//!   closed-form bound rather than index out of lane bounds (regression
+//!   test in `dlt-multiload`'s failure suite). The outer finish-time
+//!   hint survives platform changes, exactly like a shared
+//!   [`WarmStart`] handle does today.
+
+use crate::costmodel::{CostLaw, CostModel, ModelVisitor};
+use crate::error::DltError;
+use crate::nonlinear::{self, NonlinearAllocation, SolverConfig, WarmStart};
+use dlt_platform::Platform;
+use dlt_sim::CommMode;
+
+/// Relative inflation applied to the fast-path closed-form upper bound:
+/// comfortably above the polynomial `pow`'s worst-case error, so the
+/// bound still satisfies `cost(ub) ≥ t` and Newton descends onto the
+/// root from the right instead of stalling on a bracket whose upper end
+/// sits a few ulps *below* the root.
+const UB_INFLATE: f64 = 1e-12;
+
+/// Which equal-finish kernel a [`BatchSolver`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveBackend {
+    /// The scalar safeguarded-Newton path — literally
+    /// [`nonlinear::equal_finish_parallel_with`], bit-identical to
+    /// calling it directly. The default everywhere.
+    #[default]
+    Scalar,
+    /// The structure-of-arrays batched kernel: ≤ 1e-9 relative of the
+    /// scalar oracle, ~2–4× faster on wide platforms.
+    Batched,
+}
+
+impl SolveBackend {
+    /// CLI/report name (`"scalar"` / `"batched"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveBackend::Scalar => "scalar",
+            SolveBackend::Batched => "batched",
+        }
+    }
+}
+
+/// Reusable equal-finish solver handle: a [`WarmStart`] plus, for the
+/// batched backend, the structure-of-arrays platform mirror, per-lane
+/// scratch and the previous solve's share seeds.
+///
+/// Thread one handle through consecutive solves exactly like a
+/// [`WarmStart`] (the multiload engines and the sweep runners do): the
+/// platform arrays are rebuilt only when the platform actually changes,
+/// and every solve seeds the next.
+///
+/// # Examples
+///
+/// ```
+/// use dlt_core::batch::{BatchSolver, SolveBackend};
+/// use dlt_core::nonlinear::SolverConfig;
+/// use dlt_platform::Platform;
+///
+/// let platform = Platform::from_speeds(&[1.0, 2.0, 4.0]).unwrap();
+/// let config = SolverConfig::default();
+/// let mut solver = BatchSolver::new(SolveBackend::Batched);
+/// for n in [100.0, 80.0, 64.0] {
+///     let a = solver.solve(&platform, n, 2.0, &config).unwrap();
+///     assert!((a.x.iter().sum::<f64>() - n).abs() <= 1e-9 * n);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchSolver {
+    backend: SolveBackend,
+    warm: WarmStart,
+    /// SoA mirror of the last platform seen (inverse bandwidths).
+    c: Vec<f64>,
+    /// SoA mirror of the last platform seen (inverse speeds).
+    w: Vec<f64>,
+    /// Final shares of the previous solve on this platform (empty when
+    /// cold or after a platform change).
+    seeds: Vec<f64>,
+    // Per-lane Newton state, reused across solves.
+    x: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    fx: Vec<f64>,
+    df: Vec<f64>,
+    invd: Vec<f64>,
+    done: Vec<bool>,
+}
+
+impl BatchSolver {
+    /// A cold handle for the given backend.
+    pub fn new(backend: SolveBackend) -> Self {
+        Self {
+            backend,
+            ..Self::default()
+        }
+    }
+
+    /// A handle pre-seeded with a finish-time hint, like
+    /// [`WarmStart::seeded`] (non-finite / non-positive seeds are
+    /// ignored). The seed is a hint for both backends: a stale one can
+    /// only lengthen the path to the root, never change it.
+    pub fn seeded(backend: SolveBackend, t: f64) -> Self {
+        let mut s = Self::new(backend);
+        s.warm.record(t);
+        s
+    }
+
+    /// The backend this handle runs.
+    pub fn backend(&self) -> SolveBackend {
+        self.backend
+    }
+
+    /// The outer root of the last solve, if any (the warm-start hint).
+    pub fn last_makespan(&self) -> Option<f64> {
+        self.warm.last()
+    }
+
+    /// Equal-finish parallel-model solve through this handle's backend.
+    ///
+    /// `Scalar` forwards to [`nonlinear::equal_finish_parallel_with`]
+    /// with the handle's [`WarmStart`] — bit-identical to the plain
+    /// scalar path. `Batched` runs the SoA kernel (≤ 1e-9 relative of
+    /// the scalar result) and additionally records share seeds.
+    pub fn solve<M: CostModel>(
+        &mut self,
+        platform: &Platform,
+        n: f64,
+        model: M,
+        config: &SolverConfig,
+    ) -> Result<NonlinearAllocation, DltError> {
+        match self.backend {
+            SolveBackend::Scalar => {
+                nonlinear::equal_finish_parallel_with(platform, n, model, config, &mut self.warm)
+            }
+            SolveBackend::Batched => model.unswitch(BatchedVisit {
+                solver: self,
+                platform,
+                n,
+                config,
+                law: model.as_law(),
+            }),
+        }
+    }
+
+    /// Multi-law solve sharing one platform scan: solves the same `(platform, n)`
+    /// under each law in turn through this handle, so the SoA arrays are
+    /// built once and the outer root plus share seeds chain across the
+    /// sweep (consecutive α values have nearby roots — the sec2 /
+    /// sec-amdahl α-sweep pattern). With the `Scalar` backend this is
+    /// exactly the historical "one `WarmStart` across the sweep" loop.
+    pub fn solve_sweep(
+        &mut self,
+        platform: &Platform,
+        n: f64,
+        laws: &[CostLaw],
+        config: &SolverConfig,
+    ) -> Result<Vec<NonlinearAllocation>, DltError> {
+        laws.iter()
+            .map(|&law| self.solve(platform, n, law, config))
+            .collect()
+    }
+
+    /// Rebuilds the SoA mirror when the platform changed (bitwise lane
+    /// compare); a change drops the share seeds — they are meaningless
+    /// (and possibly the wrong length) on the new lane layout — while
+    /// the outer finish-time hint survives, being a plain hint.
+    fn refresh_platform(&mut self, platform: &Platform) {
+        let p = platform.len();
+        let same = self.c.len() == p
+            && platform.iter().enumerate().all(|(i, pr)| {
+                self.c[i].to_bits() == pr.inv_bandwidth().to_bits()
+                    && self.w[i].to_bits() == pr.w().to_bits()
+            });
+        if same {
+            return;
+        }
+        self.c.clear();
+        self.w.clear();
+        for pr in platform.iter() {
+            self.c.push(pr.inv_bandwidth());
+            self.w.push(pr.w());
+        }
+        self.seeds.clear();
+        self.x.resize(p, 0.0);
+        self.lo.resize(p, 0.0);
+        self.hi.resize(p, 0.0);
+        self.fx.resize(p, 0.0);
+        self.df.resize(p, 0.0);
+        self.invd.resize(p, 0.0);
+        self.done.resize(p, false);
+    }
+
+    /// One outer evaluation: all lane inverses at finish time `t`, into
+    /// `self.x`, returning the slope `Σ dxᵢ/dt`. Mirrors
+    /// `invert_cost_newton` lane-for-lane (same bracketing and stopping
+    /// rules), with the Newton iterations advanced in lockstep so each
+    /// iteration is one batched residual pass.
+    fn eval_lanes<M: CostModel>(
+        &mut self,
+        model: &M,
+        t: f64,
+        first: bool,
+        max_inner: usize,
+    ) -> f64 {
+        let p = self.c.len();
+        if t <= 0.0 {
+            self.x[..p].fill(0.0);
+            return 0.0;
+        }
+        // Exact closed forms (α = 1, starved affine-latency windows)
+        // bypass the iteration, exactly like the scalar path. Whether a
+        // closed form exists depends only on the model and `t` for the
+        // shipped laws, so lanes agree; a hypothetical mixed law falls
+        // back to the scalar per-lane inverse.
+        let mut n_exact = 0usize;
+        for i in 0..p {
+            if let Some((xi, di)) = model.exact_inverse(self.c[i], self.w[i], t) {
+                self.x[i] = xi;
+                self.invd[i] = di;
+                n_exact += 1;
+            }
+        }
+        if n_exact == p {
+            return self.invd[..p].iter().sum();
+        }
+        if n_exact > 0 {
+            let mut slope = 0.0;
+            for i in 0..p {
+                let (xi, di) =
+                    nonlinear::invert_cost_newton(*model, self.c[i], self.w[i], t, max_inner);
+                self.x[i] = xi;
+                slope += di;
+            }
+            return slope;
+        }
+
+        model.inverse_upper_bound_batch(&self.c, &self.w, t, &mut self.hi);
+        let mut remaining = 0usize;
+        for i in 0..p {
+            let ub = self.hi[i];
+            if ub.is_nan() || ub <= 0.0 || ub.is_infinite() {
+                // No positive share fits in this window.
+                self.x[i] = 0.0;
+                self.invd[i] = 0.0;
+                self.done[i] = true;
+                continue;
+            }
+            let ub = ub * (1.0 + UB_INFLATE);
+            self.hi[i] = ub;
+            self.lo[i] = 0.0;
+            // Seed the lane: within a solve, from the previous outer
+            // iterate's root; on the first iterate, from the previous
+            // solve's shares. Both are hints — anything outside the
+            // fresh bracket falls back to the closed-form bound.
+            let seed = if first {
+                if self.seeds.len() == p {
+                    self.seeds[i]
+                } else {
+                    f64::NAN
+                }
+            } else {
+                self.x[i]
+            };
+            self.x[i] = if seed.is_finite() && seed > 0.0 && seed < ub {
+                seed
+            } else {
+                ub
+            };
+            self.done[i] = false;
+            remaining += 1;
+        }
+        if remaining == 0 {
+            return 0.0;
+        }
+        for _ in 0..max_inner.max(1) {
+            // One shared-exponent pass over every lane; converged lanes
+            // are recomputed at their frozen root (pure function — same
+            // value) and skipped below, keeping the pass branch-free.
+            model.residual_deriv_batch(&self.c, &self.w, &self.x, t, &mut self.fx, &mut self.df);
+            for i in 0..p {
+                if self.done[i] {
+                    continue;
+                }
+                let fxi = self.fx[i];
+                self.invd[i] = 1.0 / self.df[i];
+                if fxi.abs() <= 4.0 * f64::EPSILON * t {
+                    self.done[i] = true;
+                    remaining -= 1;
+                    continue;
+                }
+                if fxi < 0.0 {
+                    self.lo[i] = self.x[i];
+                } else {
+                    self.hi[i] = self.x[i];
+                }
+                let newton = self.x[i] - fxi * self.invd[i];
+                let next = if newton.is_finite() && newton > self.lo[i] && newton < self.hi[i] {
+                    newton
+                } else {
+                    0.5 * (self.lo[i] + self.hi[i])
+                };
+                let step = (next - self.x[i]).abs();
+                self.x[i] = next;
+                if step <= f64::EPSILON * self.x[i]
+                    || self.hi[i] - self.lo[i] <= f64::EPSILON * self.hi[i]
+                {
+                    self.done[i] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        self.invd[..p].iter().sum()
+    }
+
+    /// Outer safeguarded Newton on `Σ xᵢ(T) = n` — the batched twin of
+    /// `nonlinear::solve_total`, same bracketing, stopping rules, warm
+    /// seeding and upper-bound hunt. The single-worker bound seed is
+    /// computed lazily: a warm handle that converges without hunting
+    /// never pays the `p` `powf`s it costs.
+    fn solve_batched_mono<M: CostModel>(
+        &mut self,
+        platform: &Platform,
+        n: f64,
+        model: M,
+        law: CostLaw,
+        config: &SolverConfig,
+    ) -> Result<NonlinearAllocation, DltError> {
+        nonlinear::validate(n, &model)?;
+        self.refresh_platform(platform);
+        let mut t_hi_cache: Option<f64> = None;
+        let lazy_seed = |cache: &mut Option<f64>| {
+            *cache.get_or_insert_with(|| nonlinear::t_single_worker_bound(platform, n, model))
+        };
+        let mut lo_t = 0.0f64;
+        let mut hi_t = f64::INFINITY;
+        let mut t = match self.warm.last() {
+            Some(seed) => seed,
+            None => lazy_seed(&mut t_hi_cache).max(1e-300),
+        };
+        let mut first = true;
+        for _ in 0..config.max_outer {
+            let slope = self.eval_lanes(&model, t, first, config.max_inner);
+            first = false;
+            let g = self.x.iter().sum::<f64>() - n;
+            if g < 0.0 {
+                lo_t = t;
+            } else {
+                hi_t = t;
+            }
+            let bracket_tight = hi_t.is_finite() && hi_t - lo_t <= config.rel_tol * hi_t.max(1.0);
+            if g.abs() <= config.residual_tol * n || bracket_tight {
+                return Ok(self.finish(platform, n, t, law));
+            }
+            let newton = if slope > 0.0 { t - g / slope } else { f64::NAN };
+            t = if hi_t.is_finite() {
+                if newton.is_finite() && newton > lo_t && newton < hi_t {
+                    newton
+                } else {
+                    0.5 * (lo_t + hi_t)
+                }
+            } else {
+                // Still hunting an upper bound (stale warm seed below
+                // the root): take the Newton step when it outruns
+                // doubling.
+                let doubled = (2.0 * t).max(lazy_seed(&mut t_hi_cache).max(1e-300));
+                if doubled > 1e300 {
+                    return Err(DltError::NoConvergence {
+                        context: "batched outer upper-bound hunt",
+                    });
+                }
+                if newton.is_finite() && newton > doubled {
+                    newton
+                } else {
+                    doubled
+                }
+            };
+        }
+        Err(DltError::NoConvergence {
+            context: "batched outer Newton iteration",
+        })
+    }
+
+    /// Rescale to `Σ xᵢ = n`, pin exact conservation on the largest
+    /// lane, record the warm hint and the share seeds, and package the
+    /// allocation.
+    fn finish(&mut self, platform: &Platform, n: f64, t: f64, law: CostLaw) -> NonlinearAllocation {
+        let s: f64 = self.x.iter().sum();
+        if s > 0.0 {
+            let scale = n / s;
+            for xi in &mut self.x {
+                *xi *= scale;
+            }
+            // Exact conservation: the largest share absorbs the
+            // rescale's rounding residue. `rest` is the left-to-right
+            // sum skipping lane `k` — replaying it bitwise recovers
+            // `x[k] = n − rest` (tested in batch_properties).
+            let mut k = 0usize;
+            for i in 1..self.x.len() {
+                if self.x[i] > self.x[k] {
+                    k = i;
+                }
+            }
+            let mut rest = 0.0;
+            for (i, &xi) in self.x.iter().enumerate() {
+                if i != k {
+                    rest += xi;
+                }
+            }
+            let rem = n - rest;
+            if rem > 0.0 {
+                self.x[k] = rem;
+            }
+        }
+        self.warm.record(t);
+        self.seeds.clear();
+        self.seeds.extend_from_slice(&self.x);
+        NonlinearAllocation {
+            x: self.x.clone(),
+            makespan: t,
+            model: law,
+            n,
+            comm_mode: CommMode::Parallel,
+            order: (0..platform.len()).collect(),
+        }
+    }
+}
+
+/// Once-per-solve monomorphization visitor: matches the law variant a
+/// single time so the batched Newton loops run with the concrete model
+/// inlined (the same unswitching trick the scalar entry points use).
+struct BatchedVisit<'a> {
+    solver: &'a mut BatchSolver,
+    platform: &'a Platform,
+    n: f64,
+    config: &'a SolverConfig,
+    law: CostLaw,
+}
+
+impl ModelVisitor for BatchedVisit<'_> {
+    type Out = Result<NonlinearAllocation, DltError>;
+
+    fn visit<M: CostModel>(self, model: M) -> Self::Out {
+        self.solver
+            .solve_batched_mono(self.platform, self.n, model, self.law, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::CostLaw;
+
+    fn assert_close(a: f64, b: f64, what: &str) {
+        let tol = 1e-9 * a.abs().max(b.abs()).max(1e-300);
+        assert!((a - b).abs() <= tol, "{what}: batched {b} vs scalar {a}");
+    }
+
+    fn platform3() -> Platform {
+        Platform::from_speeds_and_costs(&[1.0, 2.0, 4.0], &[0.5, 0.25, 0.125]).unwrap()
+    }
+
+    #[test]
+    fn scalar_backend_is_bit_identical_to_the_plain_path() {
+        let platform = platform3();
+        let config = SolverConfig::default();
+        let mut solver = BatchSolver::new(SolveBackend::Scalar);
+        let mut warm = WarmStart::new();
+        for n in [100.0, 80.0, 64.0] {
+            let via_solver = solver.solve(&platform, n, 2.0, &config).unwrap();
+            let direct =
+                nonlinear::equal_finish_parallel_with(&platform, n, 2.0, &config, &mut warm)
+                    .unwrap();
+            assert_eq!(via_solver, direct);
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_within_the_oracle_bound() {
+        let platform = platform3();
+        let config = SolverConfig::default();
+        for alpha in [1.0, 1.5, 2.0, 3.0, 24.0] {
+            let mut batched = BatchSolver::new(SolveBackend::Batched);
+            let mut warm = WarmStart::new();
+            for n in [100.0, 80.0, 64.0] {
+                let b = batched.solve(&platform, n, alpha, &config).unwrap();
+                let s =
+                    nonlinear::equal_finish_parallel_with(&platform, n, alpha, &config, &mut warm)
+                        .unwrap();
+                assert_close(s.makespan, b.makespan, "makespan");
+                for (i, (&xs, &xb)) in s.x.iter().zip(&b.x).enumerate() {
+                    assert_close(xs, xb, &format!("share {i} (alpha {alpha}, n {n})"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_conserves_the_load_bitwise() {
+        let platform = platform3();
+        let config = SolverConfig::default();
+        let mut solver = BatchSolver::new(SolveBackend::Batched);
+        let n = 137.0;
+        let a = solver.solve(&platform, n, 1.7, &config).unwrap();
+        let k = (0..a.x.len())
+            .max_by(|&i, &j| a.x[i].partial_cmp(&a.x[j]).unwrap())
+            .unwrap();
+        let mut rest = 0.0;
+        for (i, &xi) in a.x.iter().enumerate() {
+            if i != k {
+                rest += xi;
+            }
+        }
+        assert_eq!((n - rest).to_bits(), a.x[k].to_bits());
+    }
+
+    #[test]
+    fn platform_change_drops_share_seeds_but_keeps_the_warm_hint() {
+        let config = SolverConfig::default();
+        let mut solver = BatchSolver::new(SolveBackend::Batched);
+        let p5 = Platform::from_speeds(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        solver.solve(&p5, 100.0, 2.0, &config).unwrap();
+        assert_eq!(solver.seeds.len(), 5);
+        let warm_before = solver.last_makespan().unwrap();
+        // A worker "fails out": shorter platform through the same handle.
+        let p3 = platform3();
+        let a = solver.solve(&p3, 100.0, 2.0, &config).unwrap();
+        assert_eq!(a.x.len(), 3);
+        assert_eq!(solver.seeds.len(), 3);
+        assert!(solver.last_makespan().unwrap() != warm_before || a.makespan == warm_before);
+        // And the result still matches a cold scalar solve.
+        let mut warm = WarmStart::new();
+        let s = nonlinear::equal_finish_parallel_with(&p3, 100.0, 2.0, &config, &mut warm).unwrap();
+        assert_close(s.makespan, a.makespan, "post-shrink makespan");
+    }
+
+    #[test]
+    fn sweep_chains_and_matches_per_law_scalar_solves() {
+        let platform = platform3();
+        let config = SolverConfig::default();
+        let laws: Vec<CostLaw> = [1.0, 1.5, 2.0, 3.0, 6.0]
+            .iter()
+            .map(|&a| CostLaw::alpha_power(a))
+            .collect();
+        let mut batched = BatchSolver::new(SolveBackend::Batched);
+        let allocs = batched
+            .solve_sweep(&platform, 512.0, &laws, &config)
+            .unwrap();
+        let mut warm = WarmStart::new();
+        for (law, b) in laws.iter().zip(&allocs) {
+            let s =
+                nonlinear::equal_finish_parallel_with(&platform, 512.0, *law, &config, &mut warm)
+                    .unwrap();
+            assert_close(s.makespan, b.makespan, "sweep makespan");
+        }
+    }
+
+    #[test]
+    fn invalid_load_is_rejected_like_the_scalar_path() {
+        let platform = platform3();
+        let config = SolverConfig::default();
+        let mut solver = BatchSolver::new(SolveBackend::Batched);
+        assert!(solver.solve(&platform, f64::NAN, 2.0, &config).is_err());
+        assert!(solver.solve(&platform, -1.0, 2.0, &config).is_err());
+        assert!(solver.solve(&platform, 10.0, 0.5, &config).is_err());
+    }
+}

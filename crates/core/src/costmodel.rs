@@ -92,6 +92,46 @@ pub trait CostModel: Copy {
     /// the linear degeneration α = 1), returning `(x, dx/dt)`.
     fn exact_inverse(&self, c: f64, w: f64, t: f64) -> Option<(f64, f64)>;
 
+    /// Batched [`residual_deriv`](Self::residual_deriv): one pass over
+    /// structure-of-arrays lanes, writing `(cost(cᵢ, wᵢ, xᵢ) − t)` into
+    /// `fx` and `d cost/dx` into `dfdx`.
+    ///
+    /// The default is the scalar loop (exactly one `residual_deriv` per
+    /// lane — correct for any law). The power-law models override it to
+    /// share the exponent across the whole pass via
+    /// [`crate::fastmath::pow_slice`] (`x^{α−1} = exp((α−1)·ln x)`),
+    /// which is where the batched solver's speedup comes from; the
+    /// override trades the scalar path's `powf` for the polynomial
+    /// kernels, so lanes agree with the scalar oracle to ≲ 1e-13
+    /// relative rather than bit-exactly.
+    fn residual_deriv_batch(
+        &self,
+        c: &[f64],
+        w: &[f64],
+        x: &[f64],
+        t: f64,
+        fx: &mut [f64],
+        dfdx: &mut [f64],
+    ) {
+        for i in 0..x.len() {
+            let (f, d) = self.residual_deriv(c[i], w[i], x[i], t);
+            fx[i] = f;
+            dfdx[i] = d;
+        }
+    }
+
+    /// Batched [`inverse_upper_bound`](Self::inverse_upper_bound): fills
+    /// `out[i]` with the closed-form bound for lane `i`. Default is the
+    /// scalar loop; overrides may use the fast polynomial `pow` (the
+    /// batched solver re-inflates the bound by ~1e-12 relative before
+    /// trusting it, so a fast bound a few ulps under the true root can
+    /// never strand Newton below its bracket).
+    fn inverse_upper_bound_batch(&self, c: &[f64], w: &[f64], t: f64, out: &mut [f64]) {
+        for i in 0..out.len() {
+            out[i] = self.inverse_upper_bound(c[i], w[i], t);
+        }
+    }
+
     /// The storable [`CostLaw`] equivalent of this model.
     fn as_law(&self) -> CostLaw;
 
@@ -146,6 +186,22 @@ impl CostModel for AlphaPower {
         self.alpha.exact_inverse(c, w, t)
     }
 
+    fn residual_deriv_batch(
+        &self,
+        c: &[f64],
+        w: &[f64],
+        x: &[f64],
+        t: f64,
+        fx: &mut [f64],
+        dfdx: &mut [f64],
+    ) {
+        self.alpha.residual_deriv_batch(c, w, x, t, fx, dfdx)
+    }
+
+    fn inverse_upper_bound_batch(&self, c: &[f64], w: &[f64], t: f64, out: &mut [f64]) {
+        self.alpha.inverse_upper_bound_batch(c, w, t, out)
+    }
+
     fn as_law(&self) -> CostLaw {
         CostLaw::AlphaPower { alpha: self.alpha }
     }
@@ -198,6 +254,38 @@ impl CostModel for f64 {
             Some((t / d, 1.0 / d))
         } else {
             None
+        }
+    }
+
+    fn residual_deriv_batch(
+        &self,
+        c: &[f64],
+        w: &[f64],
+        x: &[f64],
+        t: f64,
+        fx: &mut [f64],
+        dfdx: &mut [f64],
+    ) {
+        let alpha = *self;
+        // One shared-exponent pass for every lane's x^{α−1}, parked in
+        // `dfdx` until the combine loop consumes it.
+        crate::fastmath::pow_slice(x, alpha - 1.0, dfdx);
+        for i in 0..x.len() {
+            let xam1 = dfdx[i];
+            fx[i] = (c[i] + w[i] * xam1) * x[i] - t;
+            dfdx[i] = c[i] + alpha * w[i] * xam1;
+        }
+    }
+
+    fn inverse_upper_bound_batch(&self, c: &[f64], w: &[f64], t: f64, out: &mut [f64]) {
+        let inv_alpha = 1.0 / *self;
+        for i in 0..out.len() {
+            let by_pow = crate::fastmath::fast_powf(t / w[i], inv_alpha);
+            out[i] = if c[i] > 0.0 {
+                (t / c[i]).min(by_pow)
+            } else {
+                by_pow
+            };
         }
     }
 
@@ -284,6 +372,26 @@ impl CostModel for AmdahlSerial {
         }
     }
 
+    fn residual_deriv_batch(
+        &self,
+        c: &[f64],
+        w: &[f64],
+        x: &[f64],
+        t: f64,
+        fx: &mut [f64],
+        dfdx: &mut [f64],
+    ) {
+        let s = self.serial;
+        let alpha = self.alpha;
+        crate::fastmath::pow_slice(x, alpha - 1.0, dfdx);
+        for i in 0..x.len() {
+            let xam1 = dfdx[i];
+            let lin = c[i] + w[i] * s;
+            fx[i] = (lin + w[i] * (1.0 - s) * xam1) * x[i] - t;
+            dfdx[i] = lin + w[i] * (1.0 - s) * alpha * xam1;
+        }
+    }
+
     fn as_law(&self) -> CostLaw {
         CostLaw::AmdahlSerial {
             serial: self.serial,
@@ -362,6 +470,25 @@ impl CostModel for AffineLatency {
             Some((te / d, 1.0 / d))
         } else {
             None
+        }
+    }
+
+    fn residual_deriv_batch(
+        &self,
+        c: &[f64],
+        w: &[f64],
+        x: &[f64],
+        t: f64,
+        fx: &mut [f64],
+        dfdx: &mut [f64],
+    ) {
+        let alpha = self.alpha;
+        let latency = self.latency;
+        crate::fastmath::pow_slice(x, alpha - 1.0, dfdx);
+        for i in 0..x.len() {
+            let xam1 = dfdx[i];
+            fx[i] = latency + (c[i] + w[i] * xam1) * x[i] - t;
+            dfdx[i] = c[i] + alpha * w[i] * xam1;
         }
     }
 
@@ -644,6 +771,22 @@ impl CostModel for CostLaw {
     #[inline(always)]
     fn exact_inverse(&self, c: f64, w: f64, t: f64) -> Option<(f64, f64)> {
         delegate_law!(self, exact_inverse, c, w, t)
+    }
+
+    fn residual_deriv_batch(
+        &self,
+        c: &[f64],
+        w: &[f64],
+        x: &[f64],
+        t: f64,
+        fx: &mut [f64],
+        dfdx: &mut [f64],
+    ) {
+        delegate_law!(self, residual_deriv_batch, c, w, x, t, fx, dfdx)
+    }
+
+    fn inverse_upper_bound_batch(&self, c: &[f64], w: &[f64], t: f64, out: &mut [f64]) {
+        delegate_law!(self, inverse_upper_bound_batch, c, w, t, out)
     }
 
     fn as_law(&self) -> CostLaw {

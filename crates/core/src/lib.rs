@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 //! # dlt-core
 //!
@@ -52,13 +53,16 @@
 //! ```
 
 pub mod analysis;
+pub mod batch;
 pub mod costmodel;
 pub mod error;
+pub mod fastmath;
 pub mod installments;
 pub mod linear;
 pub mod model;
 pub mod nonlinear;
 
+pub use batch::{BatchSolver, SolveBackend};
 pub use costmodel::{AffineLatency, AlphaPower, AmdahlSerial, CostLaw, CostModel, Piecewise};
 pub use error::DltError;
 pub use model::LoadModel;

@@ -174,14 +174,14 @@ impl WarmStart {
         self.last_t
     }
 
-    fn record(&mut self, t: f64) {
+    pub(crate) fn record(&mut self, t: f64) {
         if t.is_finite() && t > 0.0 {
             self.last_t = Some(t);
         }
     }
 }
 
-fn validate<M: CostModel>(n: f64, model: &M) -> Result<(), DltError> {
+pub(crate) fn validate<M: CostModel>(n: f64, model: &M) -> Result<(), DltError> {
     if !(n.is_finite() && n > 0.0) {
         return Err(DltError::InvalidLoad { value: n });
     }
@@ -210,7 +210,7 @@ fn validate<M: CostModel>(n: f64, model: &M) -> Result<(), DltError> {
 ///
 /// Returns `(0, 0)` when `t ≤ 0` — in the one-port model a worker whose
 /// remaining window is exhausted gets nothing and contributes no slope.
-fn invert_cost_newton<M: CostModel>(
+pub(crate) fn invert_cost_newton<M: CostModel>(
     model: M,
     c: f64,
     w: f64,
@@ -352,7 +352,7 @@ pub fn homogeneous_allocation<M: CostModel>(
 
 /// `T` upper bound shared by every solver: give the whole load to the
 /// single best worker.
-fn t_single_worker_bound<M: CostModel>(platform: &Platform, n: f64, model: M) -> f64 {
+pub(crate) fn t_single_worker_bound<M: CostModel>(platform: &Platform, n: f64, model: M) -> f64 {
     platform
         .iter()
         .map(|p| model.cost(p.inv_bandwidth(), p.w(), n))

@@ -2,7 +2,8 @@
 //! after one optimal DLT round of an `x^α` workload.
 
 use crate::models::ModelFamily;
-use dlt_core::costmodel::CostModel;
+use dlt_core::batch::{BatchSolver, SolveBackend};
+use dlt_core::costmodel::{CostLaw, CostModel};
 use dlt_core::{analysis, nonlinear};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
 use dlt_stats::Table;
@@ -22,6 +23,24 @@ pub const PAPER_ALPHAS: [f64; 4] = [1.0, 1.5, 2.0, 3.0];
 /// `1 − P·work(N/P)/work(N)` (equal split on identical workers), which
 /// reduces to `1 − 1/P^{α−1}` for the α-power law.
 pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64, family: ModelFamily) -> Table {
+    run_sec2_solver(ps, alphas, n, seed, family, SolveBackend::Scalar)
+}
+
+/// [`run_sec2`] with an explicit equal-finish backend. The α sweep per
+/// platform is one [`BatchSolver::solve_sweep`] call: the platform's SoA
+/// lane arrays are scanned once and the outer root plus share seeds
+/// chain across consecutive α values. `SolveBackend::Scalar` reproduces
+/// the historical one-`WarmStart`-per-platform loop bit for bit (it is
+/// literally the same call sequence), so the committed CSV bytes are
+/// untouched; `Batched` is bounded ≤ 1e-9 relative of that oracle.
+pub fn run_sec2_solver(
+    ps: &[usize],
+    alphas: &[f64],
+    n: f64,
+    seed: u64,
+    family: ModelFamily,
+    backend: SolveBackend,
+) -> Table {
     let mut t = Table::new(&[
         "P",
         "alpha",
@@ -32,39 +51,31 @@ pub fn run_sec2(ps: &[usize], alphas: &[f64], n: f64, seed: u64, family: ModelFa
     ])
     .with_title("Section 2: fraction of work remaining after one DLT round (W−W_partial)/W");
     let config = nonlinear::SolverConfig::default();
+    let laws: Vec<CostLaw> = alphas.iter().map(|&a| family.law(a)).collect();
     for &p in ps {
         // Both platforms depend only on (p, seed): build them once per p,
-        // and warm-start the solver across the α sweep — one handle per
-        // platform, since their finish-time scales differ.
+        // and sweep all α values through one solver handle per platform
+        // (their finish-time scales differ), warm-chained across the
+        // sweep.
         let hom_platform = Platform::homogeneous(p, 1.0, 1.0).unwrap();
         let uni_platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
             .generate(seed)
             .unwrap();
-        let mut warm_hom = nonlinear::WarmStart::new();
-        let mut warm_uni = nonlinear::WarmStart::new();
-        for &alpha in alphas {
+        let mut solver_hom = BatchSolver::new(backend);
+        let mut solver_uni = BatchSolver::new(backend);
+        let homs = solver_hom
+            .solve_sweep(&hom_platform, n, &laws, &config)
+            .expect("solver converges");
+        let unis = solver_uni
+            .solve_sweep(&uni_platform, n, &laws, &config)
+            .expect("solver converges");
+        for ((&alpha, hom), uni) in alphas.iter().zip(&homs).zip(&unis) {
             let law = family.law(alpha);
             let closed = if family.is_default() {
                 analysis::remaining_fraction_homogeneous(p, alpha)
             } else {
                 1.0 - p as f64 * law.work(n / p as f64) / law.work(n)
             };
-            let hom = nonlinear::equal_finish_parallel_with(
-                &hom_platform,
-                n,
-                law,
-                &config,
-                &mut warm_hom,
-            )
-            .expect("solver converges");
-            let uni = nonlinear::equal_finish_parallel_with(
-                &uni_platform,
-                n,
-                law,
-                &config,
-                &mut warm_uni,
-            )
-            .expect("solver converges");
             t.row([
                 p.into(),
                 alpha.into(),
@@ -107,6 +118,49 @@ mod tests {
         let t = run_sec2(&[64], &[2.0], 1024.0, 3, ModelFamily::AlphaPower);
         let uni = t.column("remaining_solver_uniform").unwrap()[0];
         assert!(uni > 0.9, "uniform-platform remaining fraction {uni}");
+    }
+
+    #[test]
+    fn batched_solver_stays_within_the_oracle_bound() {
+        // The scalar variant IS `run_sec2` (same call sequence, same
+        // bytes); the batched kernel must agree with it to ≤ 1e-9
+        // relative on every numeric cell.
+        let scalar = run_sec2(
+            &[4, 64],
+            &[1.0, 1.5, 3.0],
+            512.0,
+            1,
+            ModelFamily::AlphaPower,
+        );
+        let via_solver = run_sec2_solver(
+            &[4, 64],
+            &[1.0, 1.5, 3.0],
+            512.0,
+            1,
+            ModelFamily::AlphaPower,
+            dlt_core::batch::SolveBackend::Scalar,
+        );
+        assert_eq!(scalar.to_csv(), via_solver.to_csv());
+        let batched = run_sec2_solver(
+            &[4, 64],
+            &[1.0, 1.5, 3.0],
+            512.0,
+            1,
+            ModelFamily::AlphaPower,
+            dlt_core::batch::SolveBackend::Batched,
+        );
+        for col in [
+            "remaining_solver_hom",
+            "remaining_solver_uniform",
+            "makespan_hom",
+        ] {
+            let s = scalar.column(col).unwrap();
+            let b = batched.column(col).unwrap();
+            for (vs, vb) in s.iter().zip(&b) {
+                let tol = 1e-9 * vs.abs().max(vb.abs()).max(1.0);
+                assert!((vs - vb).abs() <= tol, "{col}: scalar {vs} vs batched {vb}");
+            }
+        }
     }
 
     #[test]

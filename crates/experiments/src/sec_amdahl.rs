@@ -14,7 +14,8 @@
 //! relaxes.
 
 use crate::models::ModelFamily;
-use dlt_core::costmodel::CostModel;
+use dlt_core::batch::{BatchSolver, SolveBackend};
+use dlt_core::costmodel::{CostLaw, CostModel};
 use dlt_core::{analysis, nonlinear};
 use dlt_platform::{Platform, PlatformSpec, SpeedDistribution};
 use dlt_stats::Table;
@@ -36,6 +37,24 @@ pub fn run_sec_amdahl(
     n: f64,
     seed: u64,
     threads: usize,
+) -> Table {
+    run_sec_amdahl_solver(ps, serials, alphas, n, seed, threads, SolveBackend::Scalar)
+}
+
+/// [`run_sec_amdahl`] with an explicit equal-finish backend: each grid
+/// cell's α sweep is one [`BatchSolver::solve_sweep`] per platform
+/// (SoA arrays built once, outer root and share seeds chained across
+/// the sweep). `SolveBackend::Scalar` is the historical warm-start loop
+/// bit for bit; `Batched` is bounded ≤ 1e-9 relative of it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sec_amdahl_solver(
+    ps: &[usize],
+    serials: &[f64],
+    alphas: &[f64],
+    n: f64,
+    seed: u64,
+    threads: usize,
+    backend: SolveBackend,
 ) -> Table {
     let mut t = Table::new(&[
         "P",
@@ -66,30 +85,22 @@ pub fn run_sec_amdahl(
         let uni_platform = PlatformSpec::new(p, SpeedDistribution::paper_uniform())
             .generate(seed)
             .unwrap();
-        let mut warm_hom = nonlinear::WarmStart::new();
-        let mut warm_uni = nonlinear::WarmStart::new();
+        let laws: Vec<CostLaw> = alphas.iter().map(|&a| family.law(a)).collect();
+        let mut solver_hom = BatchSolver::new(backend);
+        let mut solver_uni = BatchSolver::new(backend);
+        let homs = solver_hom
+            .solve_sweep(&hom_platform, n, &laws, &config)
+            .expect("solver converges");
+        let unis = solver_uni
+            .solve_sweep(&uni_platform, n, &laws, &config)
+            .expect("solver converges");
         alphas
             .iter()
-            .map(|&alpha| {
+            .zip(homs.iter().zip(&unis))
+            .map(|(&alpha, (hom, uni))| {
                 let law = family.law(alpha);
                 let closed = 1.0 - p as f64 * law.work(n / p as f64) / law.work(n);
                 let pure = analysis::remaining_fraction_homogeneous(p, alpha);
-                let hom = nonlinear::equal_finish_parallel_with(
-                    &hom_platform,
-                    n,
-                    law,
-                    &config,
-                    &mut warm_hom,
-                )
-                .expect("solver converges");
-                let uni = nonlinear::equal_finish_parallel_with(
-                    &uni_platform,
-                    n,
-                    law,
-                    &config,
-                    &mut warm_uni,
-                )
-                .expect("solver converges");
                 [
                     p as f64,
                     serial,
@@ -152,6 +163,43 @@ mod tests {
         let rem = t.column("remaining_solver_hom").unwrap();
         assert!(rem[0] > rem[1] && rem[1] > rem[2] && rem[2] > rem[3]);
         assert!(rem[3].abs() < 1e-6, "fully serial must leave nothing");
+    }
+
+    #[test]
+    fn batched_solver_stays_within_the_oracle_bound() {
+        use dlt_core::batch::SolveBackend;
+        let scalar = run_sec_amdahl(&[4, 16], &[0.0, 0.3], &[1.5, 2.0], 256.0, 1, 1);
+        let via_solver = run_sec_amdahl_solver(
+            &[4, 16],
+            &[0.0, 0.3],
+            &[1.5, 2.0],
+            256.0,
+            1,
+            1,
+            SolveBackend::Scalar,
+        );
+        assert_eq!(scalar.to_csv(), via_solver.to_csv());
+        let batched = run_sec_amdahl_solver(
+            &[4, 16],
+            &[0.0, 0.3],
+            &[1.5, 2.0],
+            256.0,
+            1,
+            1,
+            SolveBackend::Batched,
+        );
+        for col in [
+            "remaining_solver_hom",
+            "remaining_solver_uniform",
+            "makespan_hom",
+        ] {
+            let s = scalar.column(col).unwrap();
+            let b = batched.column(col).unwrap();
+            for (vs, vb) in s.iter().zip(&b) {
+                let tol = 1e-9 * vs.abs().max(vb.abs()).max(1.0);
+                assert!((vs - vb).abs() <= tol, "{col}: scalar {vs} vs batched {vb}");
+            }
+        }
     }
 
     #[test]

@@ -50,9 +50,10 @@
 use crate::error::MultiLoadError;
 use crate::load::{validate_batch, LoadSpec};
 use crate::policy::{
-    alone_policy_makespans, engine_fast, engine_reference, InstallmentExec, PolicyConfig,
+    alone_policy_makespans_backend, engine_fast, engine_reference, InstallmentExec, PolicyConfig,
     PolicyOutcome,
 };
+use dlt_core::batch::SolveBackend;
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
 
@@ -354,11 +355,11 @@ pub struct FailureOutcome {
     /// Against this denominator every realized stretch is ≥ 1 even under
     /// failures — cut pieces shrink the denominator along with the
     /// numerator. With no failures this equals
-    /// [`alone_policy_makespans`] bit for bit.
+    /// [`crate::policy::alone_policy_makespans`] bit for bit.
     pub realized_alone: Vec<f64>,
 }
 
-/// Shared front door of the four failure-aware policy entry points.
+/// Shared front door of the failure-aware policy entry points.
 fn schedule_with_failures(
     platform: &Platform,
     loads: &[LoadSpec],
@@ -366,17 +367,18 @@ fn schedule_with_failures(
     failures: &FailureTrace,
     online: bool,
     reference: bool,
+    backend: SolveBackend,
 ) -> Result<FailureOutcome, MultiLoadError> {
     validate_batch(loads)?;
     if config.installments == 0 {
         return Err(MultiLoadError::ZeroInstallments);
     }
     failures.validate_for(platform.len())?;
-    let alone = alone_policy_makespans(platform, loads, config.installments)?;
+    let alone = alone_policy_makespans_backend(platform, loads, config.installments, backend)?;
     let outcome = if reference {
-        engine_reference(platform, loads, config, &alone, online, failures)?
+        engine_reference(platform, loads, config, &alone, online, failures, backend)?
     } else {
-        engine_fast(platform, loads, config, &alone, online, failures)?
+        engine_fast(platform, loads, config, &alone, online, failures, backend)?
     };
     let realized_alone = realized_alone_makespans(platform, loads, &outcome.installment_log)?;
     Ok(FailureOutcome {
@@ -396,7 +398,32 @@ pub fn online_schedule_with_failures(
     config: &PolicyConfig,
     failures: &FailureTrace,
 ) -> Result<FailureOutcome, MultiLoadError> {
-    schedule_with_failures(platform, loads, config, failures, true, false)
+    schedule_with_failures(
+        platform,
+        loads,
+        config,
+        failures,
+        true,
+        false,
+        SolveBackend::Scalar,
+    )
+}
+
+/// [`online_schedule_with_failures`] through an explicit solver backend:
+/// every solve — stretch denominators and the degraded-platform re-solves
+/// after each failure event — runs on `backend`. A worker dropping out
+/// rebuilds the platform mid-trace; the batched backend detects the lane
+/// change bitwise and falls back to the closed-form bound instead of
+/// reusing stale (wrong-length) share seeds. [`SolveBackend::Scalar`] is
+/// bit-identical to [`online_schedule_with_failures`].
+pub fn online_schedule_with_failures_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    config: &PolicyConfig,
+    failures: &FailureTrace,
+    backend: SolveBackend,
+) -> Result<FailureOutcome, MultiLoadError> {
+    schedule_with_failures(platform, loads, config, failures, true, false, backend)
 }
 
 /// Linear-rescan reference twin of [`online_schedule_with_failures`] —
@@ -407,7 +434,15 @@ pub fn online_schedule_with_failures_reference(
     config: &PolicyConfig,
     failures: &FailureTrace,
 ) -> Result<FailureOutcome, MultiLoadError> {
-    schedule_with_failures(platform, loads, config, failures, true, true)
+    schedule_with_failures(
+        platform,
+        loads,
+        config,
+        failures,
+        true,
+        true,
+        SolveBackend::Scalar,
+    )
 }
 
 /// [`crate::policy_schedule`] under a failure trace: the **clairvoyant**
@@ -421,7 +456,27 @@ pub fn policy_schedule_with_failures(
     config: &PolicyConfig,
     failures: &FailureTrace,
 ) -> Result<FailureOutcome, MultiLoadError> {
-    schedule_with_failures(platform, loads, config, failures, false, false)
+    schedule_with_failures(
+        platform,
+        loads,
+        config,
+        failures,
+        false,
+        false,
+        SolveBackend::Scalar,
+    )
+}
+
+/// [`policy_schedule_with_failures`] through an explicit solver backend —
+/// the clairvoyant twin of [`online_schedule_with_failures_backend`].
+pub fn policy_schedule_with_failures_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    config: &PolicyConfig,
+    failures: &FailureTrace,
+    backend: SolveBackend,
+) -> Result<FailureOutcome, MultiLoadError> {
+    schedule_with_failures(platform, loads, config, failures, false, false, backend)
 }
 
 /// Linear-rescan reference twin of [`policy_schedule_with_failures`].
@@ -431,14 +486,22 @@ pub fn policy_schedule_with_failures_reference(
     config: &PolicyConfig,
     failures: &FailureTrace,
 ) -> Result<FailureOutcome, MultiLoadError> {
-    schedule_with_failures(platform, loads, config, failures, false, true)
+    schedule_with_failures(
+        platform,
+        loads,
+        config,
+        failures,
+        false,
+        true,
+        SolveBackend::Scalar,
+    )
 }
 
 /// Alone makespans at the **realized** granularity: for each load, `Σ`
 /// healthy-platform equal-finish solves of exactly the pieces the
 /// schedule served it in (in service order), one warm-start handle
 /// threaded load by load with the first solve cold — the same threading
-/// as [`alone_policy_makespans`], so a failure-free log reproduces it
+/// as [`crate::policy::alone_policy_makespans`], so a failure-free log reproduces it
 /// bit for bit.
 pub fn realized_alone_makespans(
     platform: &Platform,
@@ -536,7 +599,7 @@ pub fn replay_policy_ledger(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{online_schedule, policy_schedule, AdmissionOrder};
+    use crate::policy::{alone_policy_makespans, online_schedule, policy_schedule, AdmissionOrder};
 
     fn platform() -> Platform {
         Platform::from_speeds_and_costs(&[1.0, 3.0, 0.7], &[1.0, 0.2, 2.0]).unwrap()

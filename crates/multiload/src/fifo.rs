@@ -13,6 +13,7 @@
 use crate::error::MultiLoadError;
 use crate::load::{release_order, validate_batch, LoadSpec};
 use crate::metrics::{LoadMetrics, MultiLoadReport, SchedulerKind};
+use dlt_core::batch::{BatchSolver, SolveBackend};
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
 
@@ -62,6 +63,19 @@ pub fn fifo_schedule(
     platform: &Platform,
     loads: &[LoadSpec],
 ) -> Result<FifoOutcome, MultiLoadError> {
+    fifo_schedule_backend(platform, loads, SolveBackend::Scalar)
+}
+
+/// [`fifo_schedule`] through an explicit solver backend: every
+/// per-installment solve runs on `backend`. [`SolveBackend::Scalar`] is
+/// bit-identical to [`fifo_schedule`]; [`SolveBackend::Batched`] evaluates
+/// all worker inverses per outer Newton step in one structure-of-arrays
+/// pass and agrees with the scalar oracle to ≤ 1e-9 relative.
+pub fn fifo_schedule_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    backend: SolveBackend,
+) -> Result<FifoOutcome, MultiLoadError> {
     validate_batch(loads)?;
     let order = release_order(loads);
     let mut per_load = vec![None; loads.len()];
@@ -74,12 +88,10 @@ pub fn fifo_schedule(
     // reports 0.
     let mut worker_finish = vec![0.0f64; platform.len()];
     let config = nonlinear::SolverConfig::default();
-    let mut warm = nonlinear::WarmStart::new();
+    let mut solver = BatchSolver::new(backend);
     for &j in &order {
         let load = loads[j];
-        let alloc = nonlinear::equal_finish_parallel_with(
-            platform, load.size, load.model, &config, &mut warm,
-        )?;
+        let alloc = solver.solve(platform, load.size, load.model, &config)?;
         let start = load.release.max(platform_free);
         let finish = start + alloc.makespan;
         per_load[j] = Some(LoadMetrics {

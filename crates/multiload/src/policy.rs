@@ -63,6 +63,7 @@ use crate::error::MultiLoadError;
 use crate::failure::{FailureTrace, PlatformState};
 use crate::load::{validate_batch, LoadSpec};
 use crate::metrics::{LoadMetrics, MultiLoadReport, SchedulerKind};
+use dlt_core::batch::{BatchSolver, SolveBackend};
 use dlt_core::costmodel::{CostLaw, CostModel};
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
@@ -223,23 +224,23 @@ pub(crate) fn work_estimate(remaining: f64, model: CostLaw, speed_sum: f64) -> f
 /// Alone-on-the-platform makespan of **one** load at installment
 /// granularity `installments`: `Σ` of its installment solves back to back
 /// (the exact `remaining / left` size sequence). The caller threads the
-/// warm-start handle; [`alone_policy_makespans`] and the service engine's
-/// admission-time stretch denominators both go through this one function,
-/// which is what keeps their solve sequences — and therefore their bits —
-/// aligned.
+/// solver handle (a [`BatchSolver`] — its scalar backend is bit-identical
+/// to threading a plain warm-start handle); [`alone_policy_makespans`]
+/// and the service engine's admission-time stretch denominators both go
+/// through this one function, which is what keeps their solve sequences —
+/// and therefore their bits — aligned.
 pub(crate) fn alone_installment_makespan(
     platform: &Platform,
     load: &LoadSpec,
     installments: usize,
     config: &nonlinear::SolverConfig,
-    warm: &mut nonlinear::WarmStart,
+    solver: &mut BatchSolver,
 ) -> Result<f64, MultiLoadError> {
     let mut remaining = load.size;
     let mut total = 0.0;
     for left in (1..=installments).rev() {
         let inst = next_installment(remaining, left);
-        total += nonlinear::equal_finish_parallel_with(platform, inst, load.model, config, warm)?
-            .makespan;
+        total += solver.solve(platform, inst, load.model, config)?.makespan;
         remaining = if left == 1 { 0.0 } else { remaining - inst };
     }
     Ok(total)
@@ -379,14 +380,27 @@ pub fn alone_policy_makespans(
     loads: &[LoadSpec],
     installments: usize,
 ) -> Result<Vec<f64>, MultiLoadError> {
+    alone_policy_makespans_backend(platform, loads, installments, SolveBackend::Scalar)
+}
+
+/// [`alone_policy_makespans`] through an explicit solver backend:
+/// [`SolveBackend::Scalar`] is bit-identical to the plain entry point,
+/// [`SolveBackend::Batched`] runs the structure-of-arrays kernel (≤ 1e-9
+/// relative of scalar, faster on wide platforms).
+pub fn alone_policy_makespans_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    installments: usize,
+    backend: SolveBackend,
+) -> Result<Vec<f64>, MultiLoadError> {
     if installments == 0 {
         return Err(MultiLoadError::ZeroInstallments);
     }
     let config = nonlinear::SolverConfig::default();
-    let mut warm = nonlinear::WarmStart::new();
+    let mut solver = BatchSolver::new(backend);
     loads
         .iter()
-        .map(|load| alone_installment_makespan(platform, load, installments, &config, &mut warm))
+        .map(|load| alone_installment_makespan(platform, load, installments, &config, &mut solver))
         .collect()
 }
 
@@ -427,6 +441,34 @@ pub fn policy_schedule(
     policy_schedule_with_alone(platform, loads, config, &alone)
 }
 
+/// [`policy_schedule`] through an explicit solver backend: every
+/// equal-finish solve (stretch denominators included) runs on `backend`.
+/// [`SolveBackend::Scalar`] is bit-identical to [`policy_schedule`];
+/// [`SolveBackend::Batched`] stays within the ≤ 1e-9 oracle bound of the
+/// scalar schedule wherever the admission decisions don't tie-flip.
+pub fn policy_schedule_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    config: &PolicyConfig,
+    backend: SolveBackend,
+) -> Result<PolicyOutcome, MultiLoadError> {
+    validate_batch(loads)?;
+    if config.installments == 0 {
+        return Err(MultiLoadError::ZeroInstallments);
+    }
+    let alone = alone_policy_makespans_backend(platform, loads, config.installments, backend)?;
+    validate_policy(loads, config, &alone)?;
+    engine_fast(
+        platform,
+        loads,
+        config,
+        &alone,
+        false,
+        &FailureTrace::none(),
+        backend,
+    )
+}
+
 /// [`policy_schedule`] with precomputed stretch denominators (see
 /// [`alone_policy_makespans`]).
 pub fn policy_schedule_with_alone(
@@ -436,7 +478,15 @@ pub fn policy_schedule_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_fast(platform, loads, config, alone, false, &FailureTrace::none())
+    engine_fast(
+        platform,
+        loads,
+        config,
+        alone,
+        false,
+        &FailureTrace::none(),
+        SolveBackend::Scalar,
+    )
 }
 
 /// Executable specification of [`policy_schedule`]: rescans every load
@@ -465,7 +515,15 @@ pub fn policy_schedule_reference_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_reference(platform, loads, config, alone, false, &FailureTrace::none())
+    engine_reference(
+        platform,
+        loads,
+        config,
+        alone,
+        false,
+        &FailureTrace::none(),
+        SolveBackend::Scalar,
+    )
 }
 
 /// Online policy scheduler: load specs are **revealed at their release
@@ -505,6 +563,31 @@ pub fn online_schedule(
     online_schedule_with_alone(platform, loads, config, &alone)
 }
 
+/// [`online_schedule`] through an explicit solver backend — the online
+/// twin of [`policy_schedule_backend`].
+pub fn online_schedule_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    config: &PolicyConfig,
+    backend: SolveBackend,
+) -> Result<PolicyOutcome, MultiLoadError> {
+    validate_batch(loads)?;
+    if config.installments == 0 {
+        return Err(MultiLoadError::ZeroInstallments);
+    }
+    let alone = alone_policy_makespans_backend(platform, loads, config.installments, backend)?;
+    validate_policy(loads, config, &alone)?;
+    engine_fast(
+        platform,
+        loads,
+        config,
+        &alone,
+        true,
+        &FailureTrace::none(),
+        backend,
+    )
+}
+
 /// [`online_schedule`] with precomputed stretch denominators (see
 /// [`alone_policy_makespans`]).
 pub fn online_schedule_with_alone(
@@ -514,7 +597,15 @@ pub fn online_schedule_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_fast(platform, loads, config, alone, true, &FailureTrace::none())
+    engine_fast(
+        platform,
+        loads,
+        config,
+        alone,
+        true,
+        &FailureTrace::none(),
+        SolveBackend::Scalar,
+    )
 }
 
 /// Executable specification of [`online_schedule`]: the linear rescan.
@@ -541,7 +632,15 @@ pub fn online_schedule_reference_with_alone(
     alone: &[f64],
 ) -> Result<PolicyOutcome, MultiLoadError> {
     validate_policy(loads, config, alone)?;
-    engine_reference(platform, loads, config, alone, true, &FailureTrace::none())
+    engine_reference(
+        platform,
+        loads,
+        config,
+        alone,
+        true,
+        &FailureTrace::none(),
+        SolveBackend::Scalar,
+    )
 }
 
 /// The linear-scan reference engine: every decision rescans all loads,
@@ -565,11 +664,12 @@ pub(crate) fn engine_reference(
     alone: &[f64],
     online: bool,
     failures: &FailureTrace,
+    backend: SolveBackend,
 ) -> Result<PolicyOutcome, MultiLoadError> {
     let n = loads.len();
     let speed_sum: f64 = platform.speeds().iter().sum();
     let solver = nonlinear::SolverConfig::default();
-    let mut warm = nonlinear::WarmStart::new();
+    let mut bsolver = BatchSolver::new(backend);
     let mut fstate = PlatformState::new(platform, failures);
     let mut scratch: Vec<f64> = Vec::new();
     let mut remaining: Vec<f64> = loads.iter().map(|l| l.size).collect();
@@ -610,13 +710,7 @@ pub(crate) fn engine_reference(
             continue;
         }
         let data = next_installment(remaining[j], inst_left[j]);
-        let alloc = nonlinear::equal_finish_parallel_with(
-            fstate.current(start)?.0,
-            data,
-            loads[j].model,
-            &solver,
-            &mut warm,
-        )?;
+        let alloc = bsolver.solve(fstate.current(start)?.0, data, loads[j].model, &solver)?;
         let finish = start + alloc.makespan;
         let prev_unfinished = rec.last_served.is_some_and(|prev| remaining[prev] > 0.0);
         if let Some(t) = fstate.next_event_at().filter(|&t| t < finish) {
@@ -676,11 +770,12 @@ pub(crate) fn engine_fast(
     alone: &[f64],
     online: bool,
     failures: &FailureTrace,
+    backend: SolveBackend,
 ) -> Result<PolicyOutcome, MultiLoadError> {
     let n = loads.len();
     let speed_sum: f64 = platform.speeds().iter().sum();
     let solver = nonlinear::SolverConfig::default();
-    let mut warm = nonlinear::WarmStart::new();
+    let mut bsolver = BatchSolver::new(backend);
     let mut fstate = PlatformState::new(platform, failures);
     let mut scratch: Vec<f64> = Vec::new();
     let mut remaining: Vec<f64> = loads.iter().map(|l| l.size).collect();
@@ -743,13 +838,7 @@ pub(crate) fn engine_fast(
             continue;
         }
         let data = next_installment(remaining[j], inst_left[j]);
-        let alloc = nonlinear::equal_finish_parallel_with(
-            fstate.current(start)?.0,
-            data,
-            loads[j].model,
-            &solver,
-            &mut warm,
-        )?;
+        let alloc = bsolver.solve(fstate.current(start)?.0, data, loads[j].model, &solver)?;
         let finish = start + alloc.makespan;
         let prev_unfinished = rec.last_served.is_some_and(|prev| remaining[prev] > 0.0);
         if let Some(t) = fstate.next_event_at().filter(|&t| t < finish) {

@@ -160,11 +160,29 @@ pub fn alone_makespans(
     platform: &Platform,
     loads: &[LoadSpec],
 ) -> Result<Vec<f64>, MultiLoadError> {
+    alone_makespans_backend(platform, loads, dlt_core::batch::SolveBackend::Scalar)
+}
+
+/// [`alone_makespans`] through an explicit solver backend: one
+/// [`dlt_core::batch::BatchSolver`] handle threads through the batch so
+/// each solve's root (and per-worker shares, on the batched backend) seeds
+/// the next. [`dlt_core::batch::SolveBackend::Scalar`] is bit-identical to
+/// [`alone_makespans`].
+pub fn alone_makespans_backend(
+    platform: &Platform,
+    loads: &[LoadSpec],
+    backend: dlt_core::batch::SolveBackend,
+) -> Result<Vec<f64>, MultiLoadError> {
     let config = dlt_core::nonlinear::SolverConfig::default();
-    let mut warm = dlt_core::nonlinear::WarmStart::new();
+    let mut solver = dlt_core::batch::BatchSolver::new(backend);
     loads
         .iter()
-        .map(|l| l.alone_makespan_with(platform, &config, &mut warm))
+        .map(|l| {
+            solver
+                .solve(platform, l.size, l.model, &config)
+                .map(|a| a.makespan)
+                .map_err(MultiLoadError::from)
+        })
         .collect()
 }
 

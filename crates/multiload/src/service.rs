@@ -51,6 +51,7 @@ use crate::event_queue::{PendingEntry, PendingSet};
 use crate::failure::{FailureTrace, PlatformState, ServedPiece};
 use crate::load::LoadSpec;
 use crate::policy::{alone_installment_makespan, next_installment, work_estimate, AdmissionOrder};
+use dlt_core::batch::{BatchSolver, SolveBackend};
 use dlt_core::costmodel::CostLaw;
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
@@ -409,6 +410,25 @@ where
     I: IntoIterator<Item = LoadSpec>,
     S: CompletionSink,
 {
+    serve_trace_backend(platform, trace, config, SolveBackend::Scalar, sink)
+}
+
+/// [`serve_trace`] through an explicit solver backend: both the
+/// admission-time alone solves and the installment/merged-group solves run
+/// on `backend`, each through its own persistent
+/// [`dlt_core::batch::BatchSolver`] handle. [`SolveBackend::Scalar`] is
+/// bit-identical to [`serve_trace`].
+pub fn serve_trace_backend<I, S>(
+    platform: &Platform,
+    trace: I,
+    config: &ServiceConfig,
+    backend: SolveBackend,
+    sink: &mut S,
+) -> Result<ServiceReport, MultiLoadError>
+where
+    I: IntoIterator<Item = LoadSpec>,
+    S: CompletionSink,
+{
     validate_config(config)?;
     let selector = IndexedSelector(PendingSet::new(config.order));
     engine(
@@ -417,6 +437,7 @@ where
         config,
         &FailureTrace::none(),
         selector,
+        backend,
         sink,
     )
 }
@@ -439,6 +460,34 @@ where
     I: IntoIterator<Item = LoadSpec>,
     S: CompletionSink,
 {
+    serve_trace_with_failures_backend(
+        platform,
+        trace,
+        config,
+        failures,
+        SolveBackend::Scalar,
+        sink,
+    )
+}
+
+/// [`serve_trace_with_failures`] through an explicit solver backend. A
+/// `Down` event shrinks the platform mid-trace; the batched backend's
+/// solver handle detects the lane change and discards its per-worker share
+/// seeds (now the wrong length) instead of misapplying them.
+/// [`SolveBackend::Scalar`] is bit-identical to
+/// [`serve_trace_with_failures`].
+pub fn serve_trace_with_failures_backend<I, S>(
+    platform: &Platform,
+    trace: I,
+    config: &ServiceConfig,
+    failures: &FailureTrace,
+    backend: SolveBackend,
+    sink: &mut S,
+) -> Result<ServiceReport, MultiLoadError>
+where
+    I: IntoIterator<Item = LoadSpec>,
+    S: CompletionSink,
+{
     validate_config(config)?;
     failures.validate_for(platform.len())?;
     let selector = IndexedSelector(PendingSet::new(config.order));
@@ -448,6 +497,7 @@ where
         config,
         failures,
         selector,
+        backend,
         sink,
     )
 }
@@ -481,6 +531,7 @@ where
         config,
         &FailureTrace::none(),
         selector,
+        SolveBackend::Scalar,
         sink,
     )
 }
@@ -511,6 +562,7 @@ where
         config,
         failures,
         selector,
+        SolveBackend::Scalar,
         sink,
     )
 }
@@ -527,6 +579,7 @@ fn engine<I, Sel, S>(
     config: &ServiceConfig,
     failures: &FailureTrace,
     mut selector: Sel,
+    backend: SolveBackend,
     sink: &mut S,
 ) -> Result<ServiceReport, MultiLoadError>
 where
@@ -537,13 +590,14 @@ where
     let p = platform.len();
     let speed_sum: f64 = platform.speeds().iter().sum();
     let solver = nonlinear::SolverConfig::default();
-    // Two warm-start handles: installment solves thread through one (the
+    // Two solver handles: installment solves thread through one (the
     // first solve cold, as in the batch engines); admission-time alone
     // solves thread through the other, in admission order — the same
     // sequence `alone_policy_makespans` runs, kept on its own handle so
-    // interleaving cannot perturb either sequence's brackets.
-    let mut warm = nonlinear::WarmStart::new();
-    let mut warm_alone = nonlinear::WarmStart::new();
+    // interleaving cannot perturb either sequence's brackets (or, on the
+    // batched backend, each other's share seeds).
+    let mut bsolver = BatchSolver::new(backend);
+    let mut bsolver_alone = BatchSolver::new(backend);
     let mut fstate = PlatformState::new(platform, failures);
     let mut scratch: Vec<f64> = Vec::new();
     let mut states: HashMap<u64, LoadState> = HashMap::new();
@@ -586,7 +640,7 @@ where
             let est = work_estimate(spec.size, spec.model, speed_sum);
             let alone = if config.track_stretch {
                 report.alone_solves += k as u64;
-                alone_installment_makespan(platform, &spec, k, &solver, &mut warm_alone)?
+                alone_installment_makespan(platform, &spec, k, &solver, &mut bsolver_alone)?
             } else {
                 0.0
             };
@@ -674,13 +728,7 @@ where
             } else {
                 members.iter().map(|&(_, d)| d).sum()
             };
-            let alloc = nonlinear::equal_finish_parallel_with(
-                fstate.current(now)?.0,
-                total,
-                *model,
-                &solver,
-                &mut warm,
-            )?;
+            let alloc = bsolver.solve(fstate.current(now)?.0, total, *model, &solver)?;
             report.solves += 1;
             let start = now;
             let finish = start + alloc.makespan;
