@@ -1,0 +1,215 @@
+//! Rule configuration: per-rule module allowlists and scope knobs.
+//!
+//! The default configuration *is* the workspace contract — every entry
+//! below encodes a decision documented in `docs/analysis.md`, and the
+//! self-check test (`tests/self_check.rs`) asserts the live tree is
+//! clean under it. Fixture tests build reduced configs through the
+//! builder methods instead.
+
+/// One allowlist entry: a module-path prefix plus the recorded reason.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Module path prefix (`core::fastmath` matches itself and any
+    /// submodule).
+    pub module: &'static str,
+    /// Why the allowance exists (printed by `--list-rules`).
+    pub reason: &'static str,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `raw-powf`: modules allowed to call `powf`/`exp`/`ln` directly.
+    pub powf_allow: Vec<Allow>,
+    /// `wall-clock-in-kernel`: modules allowed to read wall clocks.
+    pub wall_clock_allow: Vec<Allow>,
+    /// `unsafe-audit`: modules sanctioned to contain `unsafe` at all
+    /// (each block still needs a `// SAFETY:` comment).
+    pub unsafe_allow: Vec<Allow>,
+    /// `nondeterministic-iteration`: crates (first module-path segment)
+    /// the rule applies to — the engine/solver crates whose outputs
+    /// must be bitwise reproducible.
+    pub nondet_crates: Vec<&'static str>,
+    /// `twin-coverage`: crates whose free `pub fn`s are checked against
+    /// the fast-engine naming contract.
+    pub twin_crates: Vec<&'static str>,
+    /// `twin-coverage`: substrings a `tests/*.rs` filename must contain
+    /// for the file to count as gating coverage.
+    pub twin_test_markers: Vec<&'static str>,
+    /// `unsafe-audit`: how many lines above an `unsafe` token a
+    /// `SAFETY` comment may sit (doc `# Safety` sections included).
+    pub safety_window: u32,
+}
+
+impl Config {
+    /// An empty configuration (no allowances, no crates in scope) —
+    /// the fixture-test baseline.
+    pub fn empty() -> Self {
+        Config {
+            powf_allow: Vec::new(),
+            wall_clock_allow: Vec::new(),
+            unsafe_allow: Vec::new(),
+            nondet_crates: Vec::new(),
+            twin_crates: Vec::new(),
+            twin_test_markers: vec!["properties", "engines"],
+            safety_window: 12,
+        }
+    }
+
+    /// The workspace contract. Every allowance here is deliberate:
+    ///
+    /// * `raw-powf` — `core::fastmath` is the sanctioned transcendental
+    ///   home; `core::costmodel` defines the cost laws the contract
+    ///   protects; `core::analysis` and `samplesort::stats` are the
+    ///   paper's closed-form formulas (one evaluation per experiment
+    ///   row, bit-pinned by committed CSVs); `platform::distribution`
+    ///   is inverse-transform RNG sampling, equally bit-pinned.
+    /// * `wall-clock-in-kernel` — `experiments::runner` and
+    ///   `experiments::service` own the documented `decisions_per_sec`
+    ///   measurement sites (the one CSV column exempt from
+    ///   byte-identity).
+    /// * `unsafe-audit` — `core::fastmath` (runtime-detected AVX2
+    ///   kernels) and `linalg::gemm` (historically sanctioned for
+    ///   blocked kernels) are the only modules allowed to contain
+    ///   `unsafe`.
+    pub fn workspace_default() -> Self {
+        Config {
+            powf_allow: vec![
+                Allow {
+                    module: "core::fastmath",
+                    reason: "the sanctioned transcendental kernels themselves",
+                },
+                Allow {
+                    module: "core::costmodel",
+                    reason: "cost-law definitions: the std powf here IS the contract the \
+                             fast paths are gated against",
+                },
+                Allow {
+                    module: "core::analysis",
+                    reason: "closed-form Section 2 formulas, one evaluation per experiment \
+                             row, bit-pinned by committed CSVs",
+                },
+                Allow {
+                    module: "samplesort::stats",
+                    reason: "the paper's s = log^2 N oversampling formula (closed form, \
+                             not a solver hot path)",
+                },
+                Allow {
+                    module: "platform::distribution",
+                    reason: "inverse-transform RNG sampling; committed CSVs pin these bits",
+                },
+            ],
+            wall_clock_allow: vec![
+                Allow {
+                    module: "experiments::runner",
+                    reason: "documented decisions_per_sec measurement site",
+                },
+                Allow {
+                    module: "experiments::service",
+                    reason: "documented decisions_per_sec measurement site (the one CSV \
+                             column exempt from byte-identity)",
+                },
+            ],
+            unsafe_allow: vec![
+                Allow {
+                    module: "core::fastmath",
+                    reason: "runtime-detected AVX2 mirror of the scalar kernels",
+                },
+                Allow {
+                    module: "linalg::gemm",
+                    reason: "sanctioned home for blocked/SIMD matrix kernels",
+                },
+            ],
+            nondet_crates: vec![
+                "core",
+                "sim",
+                "multiload",
+                "partition",
+                "outer",
+                "samplesort",
+                "linalg",
+                "platform",
+                "stats",
+                "mapreduce",
+            ],
+            twin_crates: vec!["multiload"],
+            twin_test_markers: vec!["properties", "engines"],
+            safety_window: 12,
+        }
+    }
+
+    /// Adds a `raw-powf` allowlist entry (builder, for tests).
+    pub fn allow_powf(mut self, module: &'static str) -> Self {
+        self.powf_allow.push(Allow { module, reason: "" });
+        self
+    }
+
+    /// Adds a `wall-clock-in-kernel` allowlist entry (builder, for tests).
+    pub fn allow_wall_clock(mut self, module: &'static str) -> Self {
+        self.wall_clock_allow.push(Allow { module, reason: "" });
+        self
+    }
+
+    /// Adds an `unsafe-audit` sanctioned module (builder, for tests).
+    pub fn allow_unsafe(mut self, module: &'static str) -> Self {
+        self.unsafe_allow.push(Allow { module, reason: "" });
+        self
+    }
+
+    /// Adds a crate to the `nondeterministic-iteration` scope (builder).
+    pub fn nondet_crate(mut self, krate: &'static str) -> Self {
+        self.nondet_crates.push(krate);
+        self
+    }
+
+    /// Adds a crate to the `twin-coverage` scope (builder).
+    pub fn twin_crate(mut self, krate: &'static str) -> Self {
+        self.twin_crates.push(krate);
+        self
+    }
+}
+
+/// True when `module` is `prefix` itself or a submodule of it.
+pub fn module_matches(module: &str, prefix: &str) -> bool {
+    module == prefix
+        || module
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with("::"))
+}
+
+/// True when any allowlist entry covers `module`. A module whose last
+/// segment ends in `_reference` is additionally covered for `raw-powf`
+/// by convention (oracle modules reproduce pre-optimization arithmetic
+/// verbatim) — callers opt into that via [`allows_reference_modules`].
+pub fn allowed(allow: &[Allow], module: &str) -> bool {
+    allow.iter().any(|a| module_matches(module, a.module))
+}
+
+/// The `raw-powf` oracle-module convention: a module named
+/// `*_reference` exists to reproduce pre-optimization arithmetic
+/// verbatim, so raw transcendentals are its job.
+pub fn allows_reference_modules(module: &str) -> bool {
+    module
+        .rsplit("::")
+        .next()
+        .is_some_and(|last| last.ends_with("_reference"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_is_segment_aware() {
+        assert!(module_matches("core::fastmath", "core::fastmath"));
+        assert!(module_matches("core::fastmath::avx2", "core::fastmath"));
+        assert!(!module_matches("core::fastmath2", "core::fastmath"));
+        assert!(!module_matches("core", "core::fastmath"));
+    }
+
+    #[test]
+    fn reference_module_convention() {
+        assert!(allows_reference_modules("sim::demand_reference"));
+        assert!(!allows_reference_modules("sim::demand"));
+    }
+}

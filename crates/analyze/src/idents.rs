@@ -1,0 +1,113 @@
+//! Identifier-set builders shared by the rule engine and `docs-check`.
+//!
+//! Two fidelities, deliberately distinct:
+//!
+//! * [`collect_identifiers`] / [`identifier_set`] — the **full** set:
+//!   every `[A-Za-z_][A-Za-z0-9_]*` token in the raw text, comments and
+//!   string literals included. This is `docs-check`'s resolution set
+//!   (moved here from its former private copy): a doc span must resolve
+//!   against anything the sources *mention*, which keeps renames honest
+//!   without requiring docs to only cite declared items.
+//! * [`code_identifier_set`] — the **code** set: identifiers appearing
+//!   as actual code tokens (comments and strings excluded), optionally
+//!   restricted to non-test regions. This is what `twin-coverage`
+//!   resolves `_reference` twins against — a twin mentioned only in a
+//!   comment must not satisfy the contract.
+
+use crate::lexer::TokKind;
+use crate::scan::FileScan;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Splits `text` into identifier tokens and inserts them into `out`
+/// (identifiers starting with a digit are discarded).
+pub fn collect_identifiers(text: &str, out: &mut BTreeSet<String>) {
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            current.push(ch);
+        } else if !current.is_empty() {
+            if !current.starts_with(|c: char| c.is_ascii_digit()) {
+                out.insert(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if !current.is_empty() && !current.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(current);
+    }
+}
+
+/// Collects the full identifier set of every `.rs` file under `roots`
+/// (recursive; comments and strings included — see module docs).
+pub fn identifier_set(roots: &[PathBuf]) -> std::io::Result<BTreeSet<String>> {
+    let mut idents = BTreeSet::new();
+    let mut stack: Vec<PathBuf> = roots.to_vec();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                collect_identifiers(&std::fs::read_to_string(&path)?, &mut idents);
+            }
+        }
+    }
+    Ok(idents)
+}
+
+/// Inserts the identifiers of `file`'s code tokens into `out`. With
+/// `include_tests = false`, identifiers inside `#[cfg(test)]`/`mod
+/// tests` regions are skipped.
+pub fn code_identifier_set(file: &FileScan, include_tests: bool, out: &mut BTreeSet<String>) {
+    for (i, t) in file.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && (include_tests || !file.in_test[i]) {
+            out.insert(t.text.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Gate carried over from docs-check's private implementation: the
+    // tokenizer behavior its CI contract depends on.
+    #[test]
+    fn identifier_collection_tokenizes() {
+        let mut set = BTreeSet::new();
+        collect_identifiers("pub fn foo_bar(x: u32) -> Baz2 { qux() }", &mut set);
+        assert!(set.contains("foo_bar") && set.contains("Baz2") && set.contains("qux"));
+        assert!(!set.contains("32"));
+    }
+
+    #[test]
+    fn full_set_includes_comments_and_strings() {
+        let mut set = BTreeSet::new();
+        collect_identifiers(
+            "// mention_in_comment\nlet s = \"mention_in_string\";",
+            &mut set,
+        );
+        assert!(set.contains("mention_in_comment"));
+        assert!(set.contains("mention_in_string"));
+    }
+
+    #[test]
+    fn code_set_excludes_comments_strings_and_tests() {
+        let file = FileScan::new(
+            "crates/x/src/lib.rs",
+            "// only_in_comment\nfn live() { let s = \"only_in_string\"; }\n\
+             #[cfg(test)]\nmod tests { fn only_in_test() {} }",
+        );
+        let mut set = BTreeSet::new();
+        code_identifier_set(&file, false, &mut set);
+        assert!(set.contains("live"));
+        assert!(!set.contains("only_in_comment"));
+        assert!(!set.contains("only_in_string"));
+        assert!(!set.contains("only_in_test"));
+        let mut with_tests = BTreeSet::new();
+        code_identifier_set(&file, true, &mut with_tests);
+        assert!(with_tests.contains("only_in_test"));
+    }
+}

@@ -1,0 +1,467 @@
+//! Hand-rolled token-level Rust lexer.
+//!
+//! `dlt-analyze` runs in a fully offline build, so it cannot lean on
+//! `syn` or `proc-macro2`; instead this module splits Rust source into
+//! just enough structure for the rule engine to be *sound about text*:
+//! an identifier inside a string literal or a comment must never look
+//! like a call, and a pragma inside a comment must be findable. The
+//! lexer therefore distinguishes exactly seven token classes —
+//! identifiers, punctuation, numbers, lifetimes, string/char literals,
+//! line comments and block comments — and records the 1-based line each
+//! token starts on.
+//!
+//! What it deliberately does **not** do: expression parsing, macro
+//! expansion, type resolution. Every rule downstream is written against
+//! token *sequences* (e.g. `.` `powf` `(`), which is the same altitude
+//! `docs-check` operates at and is robust against formatting.
+//!
+//! Handled literal syntax: `//`/`///`/`//!` line comments, nested
+//! `/* */` block comments, `"…"` strings with escapes, raw strings
+//! `r"…"`/`r#"…"#` (any hash depth), byte strings `b"…"`/`br#"…"#`,
+//! char and byte-char literals (including escapes), lifetimes
+//! (`'a`, `'static`) and raw identifiers (`r#type`).
+
+/// One lexed token: classification, source text and starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text. For comments this is the full comment (markers
+    /// included); for string literals it is the *contents* (delimiters
+    /// stripped), so identifier harvesting can tokenize it directly.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Token classification. See [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character.
+    Punct(char),
+    /// Numeric literal (loosely consumed; never inspected downstream).
+    Num,
+    /// String, byte-string, char or byte-char literal.
+    Str,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment (possibly spanning lines; nested pairs ok).
+    BlockComment,
+}
+
+impl Tok {
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct(ch)
+    }
+}
+
+/// Splits `src` into tokens. Total: any input produces a token stream
+/// (unterminated literals run to end of file rather than erroring —
+/// a linter must not panic on the code it inspects).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested pairs tracked).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let start = i;
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings r"…" / r#"…"# and their b-prefixed forms, plus
+        // raw identifiers r#ident. Checked before plain identifiers so
+        // the `r`/`b` prefixes don't lex as identifier starts.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            let has_r = b.get(j) == Some(&'r');
+            if has_r {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if has_r && b.get(j) == Some(&'"') {
+                // Raw (byte) string: runs to `"` followed by `hashes` #s.
+                let start_line = line;
+                j += 1;
+                let content_start = j;
+                'scan: while j < n {
+                    if b[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && b.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            break 'scan;
+                        }
+                    }
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                let content: String = b[content_start..j.min(n)].iter().collect();
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = (j + 1 + hashes).min(n);
+                continue;
+            }
+            if has_r && hashes == 1 && b.get(j).is_some_and(|&ch| is_ident_start(ch)) {
+                // Raw identifier r#type: the identifier is the payload.
+                let start = j;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if c == 'b' && b.get(i + 1) == Some(&'"') {
+                // Byte string: same escape rules as a plain string.
+                let (tok, next, nl) = lex_quoted(&b, i + 1, line);
+                toks.push(tok);
+                i = next;
+                line += nl;
+                continue;
+            }
+            if c == 'b' && b.get(i + 1) == Some(&'\'') {
+                let (tok, next) = lex_char(&b, i + 1, line);
+                toks.push(tok);
+                i = next;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let (tok, next, nl) = lex_quoted(&b, i, line);
+            toks.push(tok);
+            i = next;
+            line += nl;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime when followed by an identifier that is *not*
+            // immediately closed by another quote (`'a` vs `'a'`).
+            let is_lifetime =
+                b.get(i + 1).is_some_and(|&ch| is_ident_start(ch)) && b.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let (tok, next) = lex_char(&b, i, line);
+            toks.push(tok);
+            i = next;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Loose numeric literal: digits, alphanumerics (hex, type
+            // suffixes), `_`, a `.` only when followed by a digit (so
+            // `0..n` stays a range), and a sign right after e/E.
+            let start = i;
+            i += 1;
+            while i < n {
+                let d = b[i];
+                let digit_follows = || b.get(i + 1).is_some_and(|ch| ch.is_ascii_digit());
+                let continues = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && digit_follows())
+                    || ((d == '+' || d == '-') && matches!(b[i - 1], 'e' | 'E') && digit_follows());
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes a `"…"` string starting at the opening quote. Returns the
+/// token, the index past the closing quote and the newline count.
+fn lex_quoted(b: &[char], open: usize, line: u32) -> (Tok, usize, u32) {
+    let n = b.len();
+    let mut j = open + 1;
+    let mut newlines = 0u32;
+    let start = j;
+    while j < n && b[j] != '"' {
+        if b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            newlines += 1;
+        }
+        j += 1;
+    }
+    let content: String = b[start..j.min(n)].iter().collect();
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: content,
+            line,
+        },
+        (j + 1).min(n),
+        newlines,
+    )
+}
+
+/// Lexes a `'x'` char literal starting at the opening quote (escapes,
+/// including `\u{…}`, are skipped wholesale). Returns the token and the
+/// index past the closing quote.
+fn lex_char(b: &[char], open: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    let mut j = open + 1;
+    let start = j;
+    while j < n && b[j] != '\'' {
+        if b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    let content: String = b[start..j.min(n)].iter().collect();
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: content,
+            line,
+        },
+        (j + 1).min(n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("fn foo(x: u32) -> f64 { x as f64 * 1.5e-3 }");
+        assert!(t.contains(&(TokKind::Ident, "foo".into())));
+        assert!(t.contains(&(TokKind::Punct('{'), "{".into())));
+        assert!(t.contains(&(TokKind::Num, "1.5e-3".into())));
+    }
+
+    #[test]
+    fn range_does_not_eat_dots() {
+        let t = kinds("0..chunks");
+        assert_eq!(t[0], (TokKind::Num, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct('.'), ".".into()));
+        assert_eq!(t[2], (TokKind::Punct('.'), ".".into()));
+        assert_eq!(t[3], (TokKind::Ident, "chunks".into()));
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let t = lex("a // x.powf(2.0)\nb /* y.powf(3.0)\nstill */ c");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(t[1].kind, TokKind::LineComment);
+        assert_eq!(t[3].kind, TokKind::BlockComment);
+        // Lines: `b` on 2, `c` on 3 (block comment spans a newline).
+        assert_eq!(t[2].line, 2);
+        assert_eq!(t[4].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = lex("/* outer /* inner */ still outer */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, TokKind::BlockComment);
+        assert!(t[1].is_ident("x"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = lex(r#"let s = "x.powf(2.0)"; t"#);
+        let strs: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["x.powf(2.0)"]);
+        assert!(t.last().unwrap().is_ident("t"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let t = lex(r###"r#"a "quoted" b"# r"plain" br##"bytes"## z"###);
+        let strs: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"a "quoted" b"#, "plain", "bytes"]);
+        assert!(t.last().unwrap().is_ident("z"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let t = lex(r#""a\"b" c"#);
+        assert_eq!(t[0].text, r#"a\"b"#);
+        assert!(t[1].is_ident("c"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = lex(r"fn f<'a>(x: &'a str) { let c = 'y'; let nl = '\n'; }");
+        let lifetimes: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["y", r"\n"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = lex("r#type x");
+        assert!(t[0].is_ident("type"));
+        assert!(t[1].is_ident("x"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let t = lex("a\nb\n\nc");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+        assert_eq!(t[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        assert!(!lex("\"never closed").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+        assert!(!lex("r#\"never closed").is_empty());
+    }
+}

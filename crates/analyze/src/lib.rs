@@ -1,0 +1,36 @@
+//! `dlt-analyze` — the workspace determinism linter.
+//!
+//! The workspace ships two contracts that `cargo test` can only probe
+//! pointwise:
+//!
+//! * **bit-identity** — committed `results/*.csv` are byte-identical
+//!   across reruns and thread counts (one documented exception: the
+//!   `decisions_per_sec` column), which bars process-random iteration
+//!   order, stray wall-clock reads and unsanctioned `powf`/`exp`/`ln`
+//!   arithmetic from engine paths; and
+//! * **twin-coverage** — every fast scheduling engine ships next to a
+//!   `_reference` twin and a property test gating it.
+//!
+//! This crate enforces both at the *source* level: a dependency-free
+//! token lexer ([`lexer`]), region classification ([`scan`], skipping
+//! `#[cfg(test)]`/`mod tests` code), a five-rule engine ([`rules`]),
+//! per-line `// dlt-analyze: allow(<rule>)` pragmas ([`pragma`]) and
+//! per-rule module allowlists ([`config`]). The [`workspace`] driver
+//! wires them together; [`idents`] additionally hosts the identifier
+//! harvesting shared with the `docs-check` binary. `docs/analysis.md`
+//! is the user-facing rule reference.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod idents;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+pub use config::Config;
+pub use rules::Finding;
+pub use workspace::{analyze_sources, analyze_workspace};

@@ -1,0 +1,105 @@
+//! CLI for the workspace determinism linter.
+//!
+//! ```text
+//! dlt-analyze --workspace [--root <dir>]   lint the workspace (CI entry point)
+//! dlt-analyze <file.rs>...                 lint specific files
+//! dlt-analyze --list-rules                 print rules and allowlists
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use dlt_analyze::config::Config;
+use dlt_analyze::report;
+use dlt_analyze::rules::registry;
+use dlt_analyze::workspace::{analyze_sources, analyze_workspace};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: dlt-analyze --workspace [--root <dir>] | dlt-analyze <file.rs>... | dlt-analyze --list-rules";
+
+fn list_rules(cfg: &Config) {
+    println!("dlt-analyze rules:");
+    for rule in registry() {
+        println!("  {:<28} {}", rule.name(), rule.describe());
+    }
+    println!("\nallowlists (module prefix — reason):");
+    for (rule, allows) in [
+        ("raw-powf", &cfg.powf_allow),
+        ("wall-clock-in-kernel", &cfg.wall_clock_allow),
+        ("unsafe-audit", &cfg.unsafe_allow),
+    ] {
+        for a in allows {
+            println!("  [{rule}] {} — {}", a.module, a.reason);
+        }
+    }
+    println!(
+        "\nsuppression: `// dlt-analyze: allow(<rule>)` on the finding's line or the line above"
+    );
+}
+
+fn run(args: &[String]) -> i32 {
+    let cfg = Config::workspace_default();
+    let mut root = PathBuf::from(".");
+    let mut workspace = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            },
+            "--list-rules" => {
+                list_rules(&cfg);
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{USAGE}");
+                return 2;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let findings = if workspace {
+        match analyze_workspace(&root, &cfg) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dlt-analyze: error walking {}: {e}", root.display());
+                return 2;
+            }
+        }
+    } else if files.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    } else {
+        let mut sources = Vec::with_capacity(files.len());
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => sources.push((f.clone(), src)),
+                Err(e) => {
+                    eprintln!("dlt-analyze: cannot read {f}: {e}");
+                    return 2;
+                }
+            }
+        }
+        analyze_sources(&sources, &cfg)
+    };
+
+    print!("{}", report::render(&findings));
+    i32::from(!findings.is_empty())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}

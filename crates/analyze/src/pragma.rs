@@ -1,0 +1,142 @@
+//! Per-line suppression pragmas.
+//!
+//! Syntax (inside a line comment, anywhere on the line):
+//!
+//! ```text
+//! // dlt-analyze: allow(rule-name) — one-line justification
+//! // dlt-analyze: allow(rule-a, rule-b) — covers several rules
+//! ```
+//!
+//! A pragma suppresses findings of the named rule(s) on **its own line**
+//! (trailing-comment style) and on the **line immediately below** (the
+//! own-line style used above doc comments, where the item line itself
+//! has no room). The justification text after the rule list is free
+//! form but expected by review convention — a pragma is a recorded
+//! decision, not an escape hatch.
+//!
+//! Pragmas naming a rule the registry does not know are themselves
+//! reported as findings (rule `pragma`), so typos fail CI instead of
+//! silently suppressing nothing.
+
+use crate::lexer::TokKind;
+use crate::scan::FileScan;
+use std::collections::BTreeMap;
+
+/// The pragma marker inside a line comment.
+const MARKER: &str = "dlt-analyze: allow(";
+
+/// Parsed pragmas of one file: line → rule names allowed there.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    by_line: BTreeMap<u32, Vec<String>>,
+}
+
+impl Pragmas {
+    /// Extracts pragmas from `file`'s plain line comments. Doc comments
+    /// (`///`, `//!`) are skipped: they are rendered documentation, and
+    /// pragma examples inside them must stay inert.
+    pub fn parse(file: &FileScan) -> Self {
+        let mut by_line: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for t in &file.toks {
+            if t.kind != TokKind::LineComment
+                || t.text.starts_with("///")
+                || t.text.starts_with("//!")
+            {
+                continue;
+            }
+            let Some(open) = t.text.find(MARKER) else {
+                continue;
+            };
+            let rest = &t.text[open + MARKER.len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rules = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty());
+            by_line.entry(t.line).or_default().extend(rules);
+        }
+        Pragmas { by_line }
+    }
+
+    /// True when `rule` is suppressed at `line` — a pragma sits on the
+    /// line itself or on the line directly above.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        let hit = |l: u32| {
+            self.by_line
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        };
+        hit(line) || (line > 1 && hit(line - 1))
+    }
+
+    /// All `(line, rule)` pairs whose rule name is not in `known` —
+    /// reported as `pragma` findings by the driver.
+    pub fn unknown_rules(&self, known: &[&str]) -> Vec<(u32, String)> {
+        let mut bad = Vec::new();
+        for (&line, rules) in &self.by_line {
+            for r in rules {
+                if !known.contains(&r.as_str()) {
+                    bad.push((line, r.clone()));
+                }
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pragmas(src: &str) -> Pragmas {
+        Pragmas::parse(&FileScan::new("crates/x/src/lib.rs", src))
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let p = pragmas("let y = x.powf(a); // dlt-analyze: allow(raw-powf) — oracle\n");
+        assert!(p.allows("raw-powf", 1));
+        assert!(p.allows("raw-powf", 2), "covers the line below too");
+        assert!(!p.allows("raw-powf", 3));
+        assert!(!p.allows("unsafe-audit", 1));
+    }
+
+    #[test]
+    fn own_line_pragma_covers_the_next_line() {
+        let p = pragmas("// dlt-analyze: allow(wall-clock-in-kernel) — phase timing\nlet t = 0;\n");
+        assert!(p.allows("wall-clock-in-kernel", 1));
+        assert!(p.allows("wall-clock-in-kernel", 2));
+        assert!(!p.allows("wall-clock-in-kernel", 3));
+    }
+
+    #[test]
+    fn multi_rule_pragmas() {
+        let p = pragmas("// dlt-analyze: allow(raw-powf, twin-coverage) — both\n");
+        assert!(p.allows("raw-powf", 2));
+        assert!(p.allows("twin-coverage", 2));
+    }
+
+    #[test]
+    fn pragma_in_string_is_inert() {
+        let p = pragmas("let s = \"// dlt-analyze: allow(raw-powf)\";\n");
+        assert!(!p.allows("raw-powf", 1));
+        assert!(!p.allows("raw-powf", 2));
+    }
+
+    #[test]
+    fn doc_comment_pragma_examples_are_inert() {
+        let p = pragmas("/// // dlt-analyze: allow(raw-powf)\n//! dlt-analyze: allow(raw-powf)\n");
+        assert!(!p.allows("raw-powf", 1));
+        assert!(!p.allows("raw-powf", 2));
+        assert!(!p.allows("raw-powf", 3));
+    }
+
+    #[test]
+    fn unknown_rules_are_surfaced() {
+        let p = pragmas("// dlt-analyze: allow(raw-powf)\n// dlt-analyze: allow(no-such-rule)\n");
+        let bad = p.unknown_rules(&["raw-powf"]);
+        assert_eq!(bad, vec![(2, "no-such-rule".to_string())]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Diagnostic rendering: one `file:line: [rule] message` line per
+//! finding plus a per-rule summary, in a stable order so CI output
+//! diffs cleanly between runs.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Renders sorted findings followed by a summary line. Empty input
+/// renders the all-clear line alone.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&summary(findings));
+    out.push('\n');
+    out
+}
+
+/// The summary line: `dlt-analyze: N finding(s) (rule: n, ...)` or the
+/// all-clear.
+pub fn summary(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "dlt-analyze: clean (0 findings)".to_string();
+    }
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *per_rule.entry(f.rule).or_default() += 1;
+    }
+    let detail = per_rule
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("dlt-analyze: {} finding(s) ({detail})", findings.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_report() {
+        assert_eq!(render(&[]), "dlt-analyze: clean (0 findings)\n");
+    }
+
+    #[test]
+    fn summary_counts_per_rule() {
+        let fs = vec![
+            finding("a.rs", 1, "raw-powf"),
+            finding("a.rs", 9, "raw-powf"),
+            finding("b.rs", 3, "unsafe-audit"),
+        ];
+        assert_eq!(
+            summary(&fs),
+            "dlt-analyze: 3 finding(s) (raw-powf: 2, unsafe-audit: 1)"
+        );
+        let text = render(&fs);
+        assert!(text.starts_with("a.rs:1: [raw-powf] msg\n"));
+        assert!(text.ends_with("(raw-powf: 2, unsafe-audit: 1)\n"));
+    }
+}

@@ -1,0 +1,62 @@
+//! `nondeterministic-iteration`: hash collections in engine crates.
+//!
+//! **Contract.** Engine and solver outputs are bitwise reproducible —
+//! CSVs are committed and diffed byte-for-byte, schedules replay from
+//! ledgers exactly. `HashMap`/`HashSet` iteration order is randomized
+//! per process (`RandomState`), so one `for (k, v) in &map` in a
+//! decision path silently breaks the whole stack. The repo convention
+//! is `BTreeMap`/`BTreeSet` or a sorted `Vec` in engine crates; this
+//! rule flags any `HashMap`/`HashSet` *mention* there (the use site is
+//! where review happens — proving the absence of iteration at token
+//! level is not possible, so the type is barred outright and a pragma
+//! records any deliberate exception).
+
+use super::{Context, Finding, Rule};
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::scan::FileScan;
+
+/// See the module docs.
+pub struct NondetIteration;
+
+impl Rule for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HashMap/HashSet in engine crates (iteration order is process-random; use BTree or sorted Vec)"
+    }
+
+    fn check(&self, file: &FileScan, _ctx: &Context, cfg: &Config, out: &mut Vec<Finding>) {
+        let krate = file.module.split("::").next().unwrap_or("");
+        if !cfg.nondet_crates.contains(&krate) {
+            return;
+        }
+        let mut last_line = 0u32;
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text != "HashMap" && t.text != "HashSet" {
+                continue;
+            }
+            // One finding per line (use statements mention the type
+            // once per import; repeated mentions on a line add noise).
+            if t.line == last_line {
+                continue;
+            }
+            last_line = t.line;
+            out.push(Finding {
+                file: file.path.clone(),
+                line: t.line,
+                rule: self.name(),
+                message: format!(
+                    "`{}` in engine crate `{krate}` — iteration order is process-random; \
+                     use BTreeMap/BTreeSet or a sorted Vec",
+                    t.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! `unsafe-audit`: `unsafe` only where sanctioned, and always justified.
+//!
+//! **Contract.** The workspace carries `#![forbid(unsafe_code)]` on
+//! every crate except `dlt-core` and `dlt-linalg`; inside those, the
+//! only sanctioned homes are `core::fastmath` (the runtime-detected
+//! AVX2 kernels) and `linalg::gemm`. This rule pins that state against
+//! future drift — the `forbid` attribute is itself a source line a PR
+//! can delete — and additionally requires every `unsafe` occurrence in
+//! a sanctioned module to carry a `SAFETY` comment within the
+//! configured window above it (a `// SAFETY: …` line or a doc
+//! `# Safety` section), so the justification discipline that clippy's
+//! `undocumented_unsafe_blocks` applies to blocks extends to
+//! `unsafe fn` items too.
+
+use super::{Context, Finding, Rule};
+use crate::config::{allowed, Config};
+use crate::scan::FileScan;
+
+/// See the module docs.
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "unsafe only in core::fastmath / linalg::gemm, each occurrence with a SAFETY comment"
+    }
+
+    fn check(&self, file: &FileScan, _ctx: &Context, cfg: &Config, out: &mut Vec<Finding>) {
+        let sanctioned = allowed(&cfg.unsafe_allow, &file.module);
+        // Lines whose comments assert safety: `// SAFETY:` or a doc
+        // `# Safety` section header.
+        let safety_lines: Vec<u32> = file
+            .toks
+            .iter()
+            .filter(|t| t.is_comment())
+            .filter(|t| t.text.contains("SAFETY") || t.text.contains("# Safety"))
+            .map(|t| t.line)
+            .collect();
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test[i] || !t.is_ident("unsafe") {
+                continue;
+            }
+            if !sanctioned {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: "`unsafe` outside the sanctioned modules (core::fastmath, \
+                              linalg::gemm) — safe Rust is the workspace default \
+                              (#![forbid(unsafe_code)])"
+                        .to_string(),
+                });
+                continue;
+            }
+            let lo = t.line.saturating_sub(cfg.safety_window);
+            if !safety_lines.iter().any(|&l| lo <= l && l <= t.line) {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "`unsafe` without a `// SAFETY:` comment (or doc `# Safety` section) \
+                         within the preceding {} lines",
+                        cfg.safety_window
+                    ),
+                });
+            }
+        }
+    }
+}

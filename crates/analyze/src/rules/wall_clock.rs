@@ -1,0 +1,67 @@
+//! `wall-clock-in-kernel`: wall-clock reads outside measurement sites.
+//!
+//! **Contract.** Committed CSVs are byte-identical across reruns and
+//! `--threads` values, with exactly one documented exception: the
+//! `decisions_per_sec` column measured in `experiments::runner`/
+//! `experiments::service`. A wall-clock read anywhere else in a
+//! scheduling or solver path either leaks nondeterminism into outputs
+//! or, worse, into decisions. This rule flags `Instant::now` call
+//! sequences and any `SystemTime` mention in non-test code outside the
+//! allowlisted measurement modules. (Importing `std::time::Instant` is
+//! not flagged — only the actual clock read is.)
+
+use super::{Context, Finding, Rule};
+use crate::config::{allowed, Config};
+use crate::lexer::TokKind;
+use crate::scan::FileScan;
+
+/// See the module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-kernel"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Instant::now/SystemTime outside the documented decisions_per_sec measurement sites"
+    }
+
+    fn check(&self, file: &FileScan, _ctx: &Context, cfg: &Config, out: &mut Vec<Finding>) {
+        if allowed(&cfg.wall_clock_allow, &file.module) {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let hit = if t.text == "SystemTime" {
+                true
+            } else if t.text == "Instant" {
+                // `Instant :: now` — the read itself, not the import.
+                let c1 = file.next_code(i);
+                let c2 = c1.and_then(|j| file.next_code(j));
+                let c3 = c2.and_then(|j| file.next_code(j));
+                matches!((c1, c2, c3), (Some(a), Some(b), Some(c))
+                    if file.toks[a].is_punct(':')
+                        && file.toks[b].is_punct(':')
+                        && file.toks[c].is_ident("now"))
+            } else {
+                false
+            };
+            if hit {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "`{}` wall-clock read outside the documented measurement sites — \
+                         outputs must be byte-identical across reruns; move the measurement \
+                         or pragma with a justification",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Per-file scan state: tokens plus the region classification rules
+//! need — *is this token inside test-only code?* and *is this token
+//! inside an `impl`/`trait` block?*
+//!
+//! Test regions are what keep the linter honest about its own scope:
+//! the determinism contracts bind **shipped** code, while tests are
+//! free to call `f64::powf` to build oracles (and do — e.g. the
+//! `chunk_tasks` helper in `round_robin`'s test module). A region is
+//! test-only when it is the brace block of an item annotated
+//! `#[cfg(test)]` or of a `mod tests` item; nesting is tracked with a
+//! brace-tag stack, so items inside a test module are test tokens at
+//! any depth.
+//!
+//! Impl tracking exists for the `twin-coverage` rule: the fast-engine
+//! naming contract applies to *free* `pub fn`s, not to methods (e.g.
+//! `SolverOutcome::to_schedule` contains `_schedule` but is a metrics
+//! conversion method, not an engine).
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A lexed file plus region flags, the unit every rule consumes.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Workspace-relative path with `/` separators (also the diagnostic
+    /// anchor).
+    pub path: String,
+    /// Module path derived from the file path, e.g. `core::fastmath`
+    /// (see [`module_path_of`]).
+    pub module: String,
+    /// Token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Parallel to `toks`: token is inside a `#[cfg(test)]` item or a
+    /// `mod tests` block.
+    pub in_test: Vec<bool>,
+    /// Parallel to `toks`: token is inside an `impl` or `trait` block.
+    pub in_impl: Vec<bool>,
+}
+
+/// What a brace on the stack was opened by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    Normal,
+    Test,
+    Impl,
+}
+
+impl FileScan {
+    /// Lexes `src` and computes region flags.
+    pub fn new(path: &str, src: &str) -> Self {
+        let toks = lex(src);
+        let n = toks.len();
+        let mut in_test = vec![false; n];
+        let mut in_impl = vec![false; n];
+        let mut stack: Vec<Tag> = Vec::new();
+        let mut pending_test = false;
+        let mut pending_impl = false;
+        let mut pending_mod_name: Option<String> = None;
+
+        let record = |stack: &[Tag], in_test: &mut [bool], in_impl: &mut [bool], i: usize| {
+            in_test[i] = stack.contains(&Tag::Test);
+            in_impl[i] = stack.contains(&Tag::Impl);
+        };
+
+        let mut i = 0usize;
+        while i < n {
+            let t = &toks[i];
+            if t.is_comment() {
+                record(&stack, &mut in_test, &mut in_impl, i);
+                i += 1;
+                continue;
+            }
+            match t.kind {
+                // Attribute: consume `#[…]` / `#![…]` wholesale so its
+                // brackets never touch the brace stack, and detect the
+                // exact `cfg ( test )` sequence inside it.
+                TokKind::Punct('#') => {
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    let mut j = i + 1;
+                    // Skip comments and the optional inner-attribute `!`.
+                    while j < n && (toks[j].is_comment() || toks[j].is_punct('!')) {
+                        record(&stack, &mut in_test, &mut in_impl, j);
+                        j += 1;
+                    }
+                    if j < n && toks[j].is_punct('[') {
+                        let mut depth = 0usize;
+                        let mut attr: Vec<usize> = Vec::new();
+                        while j < n {
+                            record(&stack, &mut in_test, &mut in_impl, j);
+                            if toks[j].is_punct('[') {
+                                depth += 1;
+                            } else if toks[j].is_punct(']') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            attr.push(j);
+                            j += 1;
+                        }
+                        if has_cfg_test(&toks, &attr) {
+                            pending_test = true;
+                        }
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokKind::Ident if t.text == "impl" || t.text == "trait" => {
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    pending_impl = true;
+                    i += 1;
+                }
+                TokKind::Ident if t.text == "mod" => {
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    // Remember the module name awaiting its brace.
+                    let mut j = i + 1;
+                    while j < n && toks[j].is_comment() {
+                        j += 1;
+                    }
+                    if j < n && toks[j].kind == TokKind::Ident {
+                        pending_mod_name = Some(toks[j].text.clone());
+                    }
+                    i += 1;
+                }
+                TokKind::Punct('{') => {
+                    let tag = if pending_test || pending_mod_name.as_deref() == Some("tests") {
+                        Tag::Test
+                    } else if pending_impl {
+                        Tag::Impl
+                    } else {
+                        Tag::Normal
+                    };
+                    pending_test = false;
+                    pending_impl = false;
+                    pending_mod_name = None;
+                    stack.push(tag);
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    i += 1;
+                }
+                TokKind::Punct('}') => {
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    stack.pop();
+                    i += 1;
+                }
+                TokKind::Punct(';') => {
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    // An item ended without a brace (`mod x;`, a gated
+                    // `use`): the pending markers belonged to it.
+                    pending_test = false;
+                    pending_impl = false;
+                    pending_mod_name = None;
+                    i += 1;
+                }
+                _ => {
+                    record(&stack, &mut in_test, &mut in_impl, i);
+                    i += 1;
+                }
+            }
+        }
+
+        FileScan {
+            path: path.to_string(),
+            module: module_path_of(path),
+            toks,
+            in_test,
+            in_impl,
+        }
+    }
+
+    /// Index of the previous non-comment token before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.toks[j].is_comment())
+    }
+
+    /// Index of the next non-comment token after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i + 1..self.toks.len()).find(|&j| !self.toks[j].is_comment())
+    }
+}
+
+/// True when the attribute token indices contain the exact sequence
+/// `cfg ( test )` — deliberately *not* matching `cfg(not(test))` or
+/// `cfg_attr(test, …)`, whose bodies are live in shipped builds.
+fn has_cfg_test(toks: &[Tok], attr: &[usize]) -> bool {
+    for (k, &ti) in attr.iter().enumerate() {
+        if toks[ti].is_ident("cfg")
+            && attr.len() > k + 3
+            && toks[attr[k + 1]].is_punct('(')
+            && toks[attr[k + 2]].is_ident("test")
+            && toks[attr[k + 3]].is_punct(')')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Derives the diagnostic module path from a workspace-relative file
+/// path: `crates/core/src/fastmath.rs` → `core::fastmath`,
+/// `crates/experiments/src/bin/all.rs` → `experiments::bin::all`,
+/// `crates/mapreduce/src/jobs/mod.rs` → `mapreduce::jobs`,
+/// `src/lib.rs` (the root facade) → `nonlinear_dlt`.
+pub fn module_path_of(path: &str) -> String {
+    let norm = path.replace('\\', "/");
+    let mut parts: Vec<&str> = norm.split('/').filter(|s| !s.is_empty()).collect();
+    if let Some(last) = parts.last_mut() {
+        *last = last.strip_suffix(".rs").unwrap_or(last);
+    }
+    // Locate the `src` marker: the crate name precedes it (or the root
+    // facade owns it).
+    let src_pos = parts.iter().position(|&p| p == "src");
+    let (crate_name, rest): (&str, &[&str]) = match src_pos {
+        Some(0) => ("nonlinear_dlt", &parts[1..]),
+        Some(k) => (parts[k - 1], &parts[k + 1..]),
+        None => {
+            return parts.join("::");
+        }
+    };
+    let mut segs: Vec<&str> = vec![crate_name];
+    for (idx, &s) in rest.iter().enumerate() {
+        let is_last = idx == rest.len() - 1;
+        if is_last && (s == "lib" || s == "main" || s == "mod") {
+            continue;
+        }
+        segs.push(s);
+    }
+    segs.join("::")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_flags(src: &str) -> Vec<(String, bool)> {
+        let f = FileScan::new("crates/x/src/lib.rs", src);
+        f.toks
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, &flag)| (t.text.clone(), flag))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\nfn live2() {}";
+        let flags = test_flags(src);
+        assert!(flags.contains(&("live".into(), false)));
+        assert!(flags.contains(&("helper".into(), true)));
+        assert!(flags.contains(&("live2".into(), false)));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_a_test_region() {
+        let flags = test_flags("mod tests { fn helper() {} } fn live() {}");
+        assert!(flags.contains(&("helper".into(), true)));
+        assert!(flags.contains(&("live".into(), false)));
+    }
+
+    #[test]
+    fn cfg_test_fn_is_a_test_region() {
+        let flags = test_flags("#[cfg(test)]\nfn gated() { body(); }\nfn live() {}");
+        assert!(flags.contains(&("body".into(), true)));
+        assert!(flags.contains(&("live".into(), false)));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let flags = test_flags("#[cfg(not(test))]\nfn shipped() { body(); }");
+        assert!(flags.contains(&("body".into(), false)));
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_leak_onto_the_next_item() {
+        let flags = test_flags("#[cfg(test)]\nuse std::fmt::Debug;\nfn live() { body(); }");
+        assert!(flags.contains(&("body".into(), false)));
+    }
+
+    #[test]
+    fn non_tests_mod_is_live() {
+        let flags = test_flags("mod inner { fn live() {} }");
+        assert!(flags.contains(&("live".into(), false)));
+    }
+
+    #[test]
+    fn impl_blocks_are_tracked() {
+        let f = FileScan::new(
+            "crates/x/src/lib.rs",
+            "impl Foo { pub fn to_schedule(&self) {} }\npub fn free_fn() {}",
+        );
+        let method = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("to_schedule"))
+            .unwrap();
+        let free = f.toks.iter().position(|t| t.is_ident("free_fn")).unwrap();
+        assert!(f.in_impl[method]);
+        assert!(!f.in_impl[free]);
+    }
+
+    #[test]
+    fn attribute_brackets_do_not_unbalance_braces() {
+        // `#[derive(Debug)]` then a struct with braces: the flags after
+        // the item must be back to live top level.
+        let flags = test_flags("#[derive(Debug)]\nstruct S { x: u32 }\nfn live() {}");
+        assert!(flags.contains(&("live".into(), false)));
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(
+            module_path_of("crates/core/src/fastmath.rs"),
+            "core::fastmath"
+        );
+        assert_eq!(module_path_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(
+            module_path_of("crates/experiments/src/bin/all.rs"),
+            "experiments::bin::all"
+        );
+        assert_eq!(
+            module_path_of("crates/mapreduce/src/jobs/mod.rs"),
+            "mapreduce::jobs"
+        );
+        assert_eq!(module_path_of("src/lib.rs"), "nonlinear_dlt");
+        assert_eq!(module_path_of("tests/end_to_end.rs"), "tests::end_to_end");
+    }
+}

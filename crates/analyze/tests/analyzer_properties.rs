@@ -1,0 +1,133 @@
+//! Property suite for the analyzer, on the vendored proptest shim
+//! (honors `PROPTEST_CASES` / `PROPTEST_SEED` like the solver suites,
+//! so the CI seed-matrix job sweeps it too).
+//!
+//! Three soundness properties the fixture tests can only spot-check:
+//!
+//! 1. **Inertness** — hazard phrases (`x.powf(a)`, `HashMap`,
+//!    `Instant::now()`, `unsafe`, pragmas) embedded in string literals,
+//!    comments or `#[cfg(test)]` regions never produce findings, for
+//!    any combination of hazards and carriers;
+//! 2. **Suppression** — a generated violation with a matching pragma
+//!    (trailing or own-line) reports nothing, and the same snippet
+//!    without the pragma reports exactly that rule;
+//! 3. **Lexer totality** — the lexer never panics on adversarial
+//!    character soup, and token line numbers are nondecreasing.
+
+use dlt_analyze::lexer::lex;
+use dlt_analyze::workspace::analyze_sources;
+use dlt_analyze::Config;
+use proptest::prelude::*;
+
+/// Full-scope config: every rule armed for the fixture crate `x`.
+fn armed() -> Config {
+    Config::empty().nondet_crate("x").twin_crate("x")
+}
+
+fn lint(src: &str) -> Vec<String> {
+    analyze_sources(
+        &[("crates/x/src/lib.rs".to_string(), src.to_string())],
+        &armed(),
+    )
+    .into_iter()
+    .map(|f| f.rule.to_string())
+    .collect()
+}
+
+/// Hazard phrases that would each trip a rule as live code.
+const HAZARDS: [&str; 6] = [
+    "x.powf(a)",
+    "f64::powf(x, a)",
+    "HashMap::new()",
+    "Instant::now()",
+    "SystemTime::now()",
+    "unsafe { *p }",
+];
+
+/// Carriers that must neutralize any hazard embedded in them. `{}` is
+/// the hazard slot; each carrier is a complete source line.
+const CARRIERS: [&str; 5] = [
+    "// hazard in a line comment: {}",
+    "/* hazard in a block comment: {} */",
+    "/// hazard in a doc comment: {}",
+    "const S: &str = \"{}\";",
+    "const R: &str = r#\"{} \"quoted\" \"#;",
+];
+
+proptest! {
+    #[test]
+    fn hazards_in_strings_and_comments_are_inert(
+        picks in proptest::collection::vec((0usize..HAZARDS.len(), 0usize..CARRIERS.len()), 1..8)
+    ) {
+        let mut src = String::from("pub fn live(n: usize) -> usize { n }\n");
+        for (h, c) in &picks {
+            src.push_str(&CARRIERS[*c].replacen("{}", HAZARDS[*h], 1));
+            src.push('\n');
+        }
+        let got = lint(&src);
+        prop_assert!(got.is_empty(), "findings {got:?} from:\n{src}");
+    }
+
+    #[test]
+    fn hazards_in_test_regions_are_inert(
+        picks in proptest::collection::vec(0usize..HAZARDS.len(), 1..6)
+    ) {
+        let mut src = String::from("#[cfg(test)]\nmod tests {\n  fn helper(x: f64, a: f64, p: *const u8) {\n");
+        for h in &picks {
+            src.push_str("    let _ = ");
+            src.push_str(HAZARDS[*h]);
+            src.push_str(";\n");
+        }
+        src.push_str("  }\n}\n");
+        let got = lint(&src);
+        prop_assert!(got.is_empty(), "findings {got:?} from:\n{src}");
+    }
+
+    #[test]
+    fn pragmas_suppress_exactly_their_rule(
+        hazard in 0usize..HAZARDS.len(),
+        own_line in any::<bool>()
+    ) {
+        // The rule each hazard trips.
+        const RULES: [&str; 6] = [
+            "raw-powf",
+            "raw-powf",
+            "nondeterministic-iteration",
+            "wall-clock-in-kernel",
+            "wall-clock-in-kernel",
+            "unsafe-audit",
+        ];
+        let stmt = format!("    let _ = {};", HAZARDS[hazard]);
+        let hot = format!("pub fn f(x: f64, a: f64, p: *const u8) {{\n{stmt}\n}}\n");
+        let got = lint(&hot);
+        prop_assert_eq!(&got, &vec![RULES[hazard].to_string()], "unpragma'd: {}", hot);
+
+        let pragma = format!("// dlt-analyze: allow({}) — generated", RULES[hazard]);
+        let suppressed = if own_line {
+            format!("pub fn f(x: f64, a: f64, p: *const u8) {{\n    {pragma}\n{stmt}\n}}\n")
+        } else {
+            format!("pub fn f(x: f64, a: f64, p: *const u8) {{\n{stmt} {pragma}\n}}\n")
+        };
+        let got = lint(&suppressed);
+        prop_assert!(got.is_empty(), "findings {got:?} from:\n{suppressed}");
+    }
+
+    #[test]
+    fn lexer_is_total_on_character_soup(
+        chars in proptest::collection::vec(0usize..SOUP.len(), 0..200)
+    ) {
+        let src: String = chars.iter().map(|&i| SOUP[i]).collect();
+        let toks = lex(&src);
+        let mut last = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= last, "line numbers regressed in {src:?}");
+            last = t.line;
+        }
+    }
+}
+
+/// Adversarial alphabet: every character that steers the lexer's literal
+/// and comment handling, plus plain filler.
+const SOUP: [char; 16] = [
+    '"', '\'', '/', '*', '#', 'r', 'b', '\\', '\n', ' ', 'x', '0', '.', '{', '}', '_',
+];

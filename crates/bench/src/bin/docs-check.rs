@@ -17,52 +17,18 @@
 //!   identifier anywhere in the `.rs` sources under the `--src` roots
 //!   (default: `crates` and `src`, relative to the working directory).
 //!
-//! Matching identifiers instead of declarations keeps the checker free of
-//! parsing while still catching the failure mode that matters: a symbol
-//! renamed or deleted in the sources disappears from the identifier set,
-//! and every doc span still pointing at it turns into a CI failure.
+//! The identifier harvesting is `dlt_analyze::idents` — the same
+//! full-fidelity set (comments and strings included) this binary always
+//! used, now shared with the workspace determinism linter. Matching
+//! identifiers instead of declarations keeps the checker free of parsing
+//! while still catching the failure mode that matters: a symbol renamed
+//! or deleted in the sources disappears from the identifier set, and
+//! every doc span still pointing at it turns into a CI failure.
 //! Directories passed as inputs are scanned recursively for `.md` files.
 
-use std::collections::BTreeSet;
+use dlt_analyze::idents::identifier_set;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Collects every identifier (`[A-Za-z_][A-Za-z0-9_]*` token) appearing
-/// in `.rs` files under `roots`.
-fn identifier_set(roots: &[PathBuf]) -> std::io::Result<BTreeSet<String>> {
-    let mut idents = BTreeSet::new();
-    let mut stack: Vec<PathBuf> = roots.to_vec();
-    while let Some(dir) = stack.pop() {
-        for entry in std::fs::read_dir(&dir)? {
-            let path = entry?.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                collect_identifiers(&std::fs::read_to_string(&path)?, &mut idents);
-            }
-        }
-    }
-    Ok(idents)
-}
-
-/// Splits `text` into identifier tokens and inserts them into `out`.
-fn collect_identifiers(text: &str, out: &mut BTreeSet<String>) {
-    let mut current = String::new();
-    for ch in text.chars() {
-        if ch.is_ascii_alphanumeric() || ch == '_' {
-            current.push(ch);
-        } else if !current.is_empty() {
-            if !current.starts_with(|c: char| c.is_ascii_digit()) {
-                out.insert(std::mem::take(&mut current));
-            } else {
-                current.clear();
-            }
-        }
-    }
-    if !current.is_empty() && !current.starts_with(|c: char| c.is_ascii_digit()) {
-        out.insert(current);
-    }
-}
 
 /// Extracts the inline code spans of a markdown document: single-backtick
 /// runs on lines outside fenced ``` blocks.
@@ -243,11 +209,23 @@ mod tests {
     }
 
     #[test]
-    fn identifier_collection_tokenizes() {
-        let mut set = BTreeSet::new();
-        collect_identifiers("pub fn foo_bar(x: u32) -> Baz2 { qux() }", &mut set);
-        assert!(set.contains("foo_bar") && set.contains("Baz2") && set.contains("qux"));
-        assert!(!set.contains("32"));
+    fn shared_identifier_set_keeps_full_fidelity() {
+        // The resolution contract: identifiers mentioned only in
+        // comments or strings still resolve (docs may cite them), which
+        // is exactly what `dlt_analyze::idents::identifier_set`'s
+        // full-fidelity scan provides.
+        let dir = std::env::temp_dir().join(format!("docs-check-fid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("lib.rs"),
+            "// commented_symbol\npub fn real_symbol() { let _ = \"string_symbol\"; }",
+        )
+        .unwrap();
+        let set = identifier_set(std::slice::from_ref(&dir)).unwrap();
+        assert!(set.contains("real_symbol"));
+        assert!(set.contains("commented_symbol"));
+        assert!(set.contains("string_symbol"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dlt-bench
 //!
 //! Criterion benchmark harness. One bench target per paper artifact plus

@@ -286,15 +286,24 @@ mod avx2 {
 
     const WIDTH: usize = 4;
 
-    #[inline(always)]
-    unsafe fn splat(v: f64) -> __m256d {
+    // Safe under target-feature 1.1: `_mm256_set1_pd` has no
+    // preconditions beyond AVX availability, which this attribute
+    // asserts and which callers discharge behind the runtime
+    // `is_x86_feature_detected!` gate in `pow_slice`.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn splat(v: f64) -> __m256d {
         _mm256_set1_pd(v)
     }
 
-    /// [`super::ln_core`] on four caller-checked lanes.
+    /// [`super::ln_core`] on four caller-checked lanes — a safe
+    /// target-feature fn: sole caller `pow_chunk` runs behind the
+    /// runtime AVX2 detection in `pow_slice_avx2`'s contract, and lane
+    /// values are caller-checked finite positives matching `ln_core`'s
+    /// domain.
     #[target_feature(enable = "avx2")]
     #[inline]
-    unsafe fn ln_core_v(x: __m256d) -> __m256d {
+    fn ln_core_v(x: __m256d) -> __m256d {
         let bits = _mm256_castpd_si256(x);
         let hx = _mm256_srli_epi64::<32>(bits);
         let k0 = _mm256_sub_epi64(_mm256_srli_epi64::<20>(hx), _mm256_set1_epi64x(1023));
@@ -351,10 +360,14 @@ mod avx2 {
         )
     }
 
-    /// [`super::exp_core`] on four caller-checked lanes.
+    /// [`super::exp_core`] on four caller-checked lanes — a safe
+    /// target-feature fn: sole caller `pow_chunk` runs behind the
+    /// runtime AVX2 detection in `pow_slice_avx2`'s contract, and
+    /// |x| ≤ EXP_FAST_LIMIT is caller-checked, keeping `k` within i32
+    /// for `_mm256_cvttpd_epi32`.
     #[target_feature(enable = "avx2")]
     #[inline]
-    unsafe fn exp_core_v(x: __m256d) -> __m256d {
+    fn exp_core_v(x: __m256d) -> __m256d {
         let neg = _mm256_cmp_pd::<_CMP_LT_OQ>(x, _mm256_setzero_pd());
         let half = _mm256_blendv_pd(splat(0.5), splat(-0.5), neg);
         let kf = _mm256_add_pd(_mm256_mul_pd(splat(INV_LN2), x), half);
@@ -409,7 +422,9 @@ mod avx2 {
     /// Requires AVX2 (caller-checked) and `x.len() >= WIDTH`.
     #[target_feature(enable = "avx2")]
     unsafe fn pow_chunk(x: &[f64], a: f64) -> Option<[f64; WIDTH]> {
-        let v = _mm256_loadu_pd(x.as_ptr());
+        // SAFETY: the caller guarantees `x.len() >= WIDTH` (documented
+        // precondition), so the 4-lane unaligned load stays in bounds.
+        let v = unsafe { _mm256_loadu_pd(x.as_ptr()) };
         let ge = _mm256_cmp_pd::<_CMP_GE_OQ>(v, splat(f64::MIN_POSITIVE));
         let le = _mm256_cmp_pd::<_CMP_LE_OQ>(v, splat(f64::MAX));
         if _mm256_movemask_pd(_mm256_and_pd(ge, le)) != 0xf {
@@ -422,7 +437,9 @@ mod avx2 {
         }
         let r = exp_core_v(arg);
         let mut out = [0.0f64; WIDTH];
-        _mm256_storeu_pd(out.as_mut_ptr(), r);
+        // SAFETY: `out` holds exactly WIDTH lanes, so the 4-lane
+        // unaligned store stays in bounds.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr(), r) };
         Some(out)
     }
 
@@ -437,7 +454,10 @@ mod avx2 {
         let mut chunks = x.chunks_exact(WIDTH);
         let mut outs = out.chunks_exact_mut(WIDTH);
         for (xc, oc) in (&mut chunks).zip(&mut outs) {
-            match pow_chunk(xc, a) {
+            // SAFETY: `chunks_exact(WIDTH)` yields slices of exactly
+            // WIDTH elements, and AVX2 is enabled for this whole fn
+            // (caller-checked per this fn's own contract).
+            match unsafe { pow_chunk(xc, a) } {
                 Some(r) => oc.copy_from_slice(&r),
                 None => {
                     for (o, &xi) in oc.iter_mut().zip(xc) {

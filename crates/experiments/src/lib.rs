@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dlt-experiments
 //!
 //! The experiment harness: one function per paper table/figure, each

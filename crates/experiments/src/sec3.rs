@@ -157,6 +157,7 @@ pub fn run_sample_sort(ns: &[usize], ps: &[usize], trials: usize, seed: u64) -> 
                 n.into(),
                 p.into(),
                 s_used.into(),
+                // dlt-analyze: allow(raw-powf) — reporting column log_n(p), one evaluation per row; committed CSVs pin these bits
                 ((p as f64).ln() / (n as f64).ln()).into(),
                 cost_frac.into(),
                 overload.mean().into(),

@@ -172,6 +172,7 @@ pub fn arrival_trace(
         let alpha = alphas[rng.gen_range(0..alphas.len())];
         // Inverse-CDF exponential gap; 1 − u > 0 because u ∈ [0, 1).
         let u: f64 = rng.gen_range(0.0..1.0);
+        // dlt-analyze: allow(raw-powf) — arrival-time sampling; committed CSVs pin these std-ln bits
         release += -(1.0 - u).ln() * spacing;
         Some(LoadSpec::with_model(size, family.law(alpha), release).expect("valid generated load"))
     })

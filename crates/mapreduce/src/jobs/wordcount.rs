@@ -5,13 +5,13 @@
 
 use crate::engine::{run_job, JobConfig};
 use crate::metrics::VolumeReport;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Word-count output.
 #[derive(Debug, Clone)]
 pub struct WordCountOutput {
-    /// Occurrences per word.
-    pub counts: HashMap<String, usize>,
+    /// Occurrences per word, in word order (deterministic iteration).
+    pub counts: BTreeMap<String, usize>,
     /// Engine volume report.
     pub volume: VolumeReport,
 }

@@ -55,7 +55,7 @@ use dlt_core::batch::{BatchSolver, SolveBackend};
 use dlt_core::costmodel::CostLaw;
 use dlt_core::nonlinear;
 use dlt_platform::Platform;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How many installments a load is cut into, decided at admission time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,7 +276,7 @@ struct LoadState {
 /// [`crate::policy`]'s engine/reference pairs.
 trait Selector {
     fn push(&mut self, entry: PendingEntry, now: f64);
-    fn pop_min(&mut self, now: f64, states: &HashMap<u64, LoadState>) -> Option<u64>;
+    fn pop_min(&mut self, now: f64, states: &BTreeMap<u64, LoadState>) -> Option<u64>;
     fn len(&self) -> usize;
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -291,7 +291,7 @@ impl Selector for IndexedSelector {
     fn push(&mut self, entry: PendingEntry, now: f64) {
         self.0.push(entry, now);
     }
-    fn pop_min(&mut self, now: f64, _states: &HashMap<u64, LoadState>) -> Option<u64> {
+    fn pop_min(&mut self, now: f64, _states: &BTreeMap<u64, LoadState>) -> Option<u64> {
         self.0.pop_min(now).map(|e| e.id)
     }
     fn len(&self) -> usize {
@@ -317,7 +317,7 @@ impl Selector for RescanSelector {
         self.ids.push(entry.id);
         self.high_water = self.high_water.max(self.ids.len());
     }
-    fn pop_min(&mut self, now: f64, states: &HashMap<u64, LoadState>) -> Option<u64> {
+    fn pop_min(&mut self, now: f64, states: &BTreeMap<u64, LoadState>) -> Option<u64> {
         let mut best: Option<(f64, usize)> = None;
         for (pos, &id) in self.ids.iter().enumerate() {
             let st = &states[&id];
@@ -600,7 +600,7 @@ where
     let mut bsolver_alone = BatchSolver::new(backend);
     let mut fstate = PlatformState::new(platform, failures);
     let mut scratch: Vec<f64> = Vec::new();
-    let mut states: HashMap<u64, LoadState> = HashMap::new();
+    let mut states: BTreeMap<u64, LoadState> = BTreeMap::new();
     let mut report = ServiceReport::new(p);
     let mut lookahead: Option<(u64, LoadSpec)> = None;
     let mut next_id: u64 = 0;

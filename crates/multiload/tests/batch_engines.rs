@@ -10,12 +10,15 @@
 //! is covered by their reference-twin property tests.)
 
 use dlt_multiload::{
-    alone_makespans, alone_makespans_backend, fifo_schedule, fifo_schedule_backend,
-    online_schedule, online_schedule_backend, online_schedule_with_failures,
-    online_schedule_with_failures_backend, policy_schedule, policy_schedule_backend, serve_trace,
-    serve_trace_backend, serve_trace_with_failures, serve_trace_with_failures_backend,
-    AdmissionOrder, FailureEvent, FailureTrace, InstallmentPolicy, LoadSpec, PolicyConfig,
-    ServiceConfig, SolveBackend,
+    alone_makespans, alone_makespans_backend, alone_policy_makespans,
+    alone_policy_makespans_backend, fifo_schedule, fifo_schedule_backend, online_schedule,
+    online_schedule_backend, online_schedule_with_alone, online_schedule_with_failures,
+    online_schedule_with_failures_backend, policy_schedule, policy_schedule_backend,
+    policy_schedule_with_alone, policy_schedule_with_failures,
+    policy_schedule_with_failures_backend, round_robin_schedule, round_robin_schedule_with_alone,
+    serve_trace, serve_trace_backend, serve_trace_with_failures, serve_trace_with_failures_backend,
+    AdmissionOrder, FailureEvent, FailureTrace, InstallmentPolicy, LoadSpec, MultiLoadConfig,
+    PolicyConfig, ServiceConfig, SolveBackend,
 };
 use dlt_platform::Platform;
 
@@ -367,5 +370,102 @@ fn failure_trace_streaming_service_agrees_with_scalar() {
     for (cs, cb) in sdone.iter().zip(&bdone) {
         assert_eq!(cs.id, cb.id, "service failure completion order");
         close(cs.finish, cb.finish, "service failure completion finish");
+    }
+}
+
+/// The `_with_alone` wrappers are pure plumbing: handing them exactly the
+/// denominators their parent computes must reproduce the parent's outcome
+/// bit for bit (`PolicyOutcome`/`RoundRobinOutcome` derive `PartialEq`).
+#[test]
+fn with_alone_wrappers_are_bit_identical_to_their_parents() {
+    let platform = platform();
+    let loads = loads();
+    let cfg = PolicyConfig {
+        order: AdmissionOrder::Srpt,
+        installments: 3,
+    };
+    let alone = alone_policy_makespans(&platform, &loads, cfg.installments).unwrap();
+
+    let parent = policy_schedule(&platform, &loads, &cfg).unwrap();
+    let wrapped = policy_schedule_with_alone(&platform, &loads, &cfg, &alone).unwrap();
+    assert_eq!(parent, wrapped, "policy_schedule_with_alone");
+
+    let parent = online_schedule(&platform, &loads, &cfg).unwrap();
+    let wrapped = online_schedule_with_alone(&platform, &loads, &cfg, &alone).unwrap();
+    assert_eq!(parent, wrapped, "online_schedule_with_alone");
+
+    let rr_cfg = MultiLoadConfig::default();
+    let rr_alone = alone_makespans(&platform, &loads).unwrap();
+    let parent = round_robin_schedule(&platform, &loads, &rr_cfg).unwrap();
+    let wrapped = round_robin_schedule_with_alone(&platform, &loads, &rr_cfg, &rr_alone).unwrap();
+    assert_eq!(parent, wrapped, "round_robin_schedule_with_alone");
+}
+
+/// `SolveBackend::Scalar` through a `_backend` entry point forwards to
+/// the plain path verbatim; `Batched` stays within the oracle bound.
+#[test]
+fn alone_policy_makespans_backend_matches_scalar_oracle() {
+    let platform = platform();
+    let loads = loads();
+    for k in [1usize, 4] {
+        let plain = alone_policy_makespans(&platform, &loads, k).unwrap();
+        let scalar =
+            alone_policy_makespans_backend(&platform, &loads, k, SolveBackend::Scalar).unwrap();
+        assert_eq!(plain, scalar, "scalar backend forwards verbatim, k={k}");
+        let batched =
+            alone_policy_makespans_backend(&platform, &loads, k, SolveBackend::Batched).unwrap();
+        for (j, (&a, &b)) in plain.iter().zip(&batched).enumerate() {
+            close(a, b, &format!("alone policy makespan k={k}, load {j}"));
+        }
+    }
+}
+
+#[test]
+fn policy_failures_backend_matches_scalar_oracle() {
+    let platform = platform();
+    let loads = loads();
+    let cfg = PolicyConfig {
+        order: AdmissionOrder::Srpt,
+        installments: 3,
+    };
+    let trace = FailureTrace::new(vec![
+        FailureEvent::slow(2.0, 1, 3.0),
+        FailureEvent::down(6.0, 0),
+    ])
+    .unwrap();
+    let plain = policy_schedule_with_failures(&platform, &loads, &cfg, &trace).unwrap();
+    let scalar = policy_schedule_with_failures_backend(
+        &platform,
+        &loads,
+        &cfg,
+        &trace,
+        SolveBackend::Scalar,
+    )
+    .unwrap();
+    assert_eq!(plain, scalar, "scalar backend forwards verbatim");
+    let batched = policy_schedule_with_failures_backend(
+        &platform,
+        &loads,
+        &cfg,
+        &trace,
+        SolveBackend::Batched,
+    )
+    .unwrap();
+    assert_eq!(
+        plain.outcome.preemptions, batched.outcome.preemptions,
+        "failure decision structure is backend-independent"
+    );
+    close(
+        plain.outcome.report.makespan(),
+        batched.outcome.report.makespan(),
+        "policy failure makespan",
+    );
+    for (j, (&a, &b)) in plain
+        .realized_alone
+        .iter()
+        .zip(&batched.realized_alone)
+        .enumerate()
+    {
+        close(a, b, &format!("realized alone, load {j}"));
     }
 }
